@@ -1,0 +1,31 @@
+(* Synthetic-design generator CLI: emits a netgen design (§3.3.2 shape)
+   as SCALD HDL, for feeding scald_tv or external experiments. *)
+
+let () =
+  let chips = ref 1000 in
+  let seed = ref 1 in
+  let broken = ref 0 in
+  let out = ref "" in
+  let spec =
+    [
+      ("--chips", Arg.Set_int chips, "target chip count (default 1000)");
+      ("--seed", Arg.Set_int seed, "PRNG seed (default 1)");
+      ("--broken", Arg.Set_int broken, "registers with injected set-up violations");
+      ("-o", Arg.Set_string out, "output file (default stdout)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "netgen_cli [--chips N] [--seed N] [--broken N] [-o FILE]";
+  let d =
+    Netgen.generate
+      (Netgen.scaled ~seed:!seed ~broken_registers:!broken ~chips:!chips ())
+  in
+  let sdl = Netgen.to_sdl d in
+  if !out = "" then print_string sdl
+  else begin
+    let oc = open_out !out in
+    output_string oc sdl;
+    close_out oc;
+    Printf.eprintf "wrote %d chips (%d bytes) to %s\n" (Netgen.n_chips d)
+      (String.length sdl) !out
+  end

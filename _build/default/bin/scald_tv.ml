@@ -1,0 +1,156 @@
+(* The SCALD Timing Verifier command-line driver.
+
+   Reads a design in the textual SCALD HDL, runs the Macro Expander and
+   the Timing Verifier, and prints the error listing — optionally the
+   timing summary (Figure 3-10), the cross-reference listings, and
+   per-case results from a case-analysis file (§2.7.1). *)
+
+open Scald_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file case_file summary xref quiet paths corr_advice prob slack diagram vcd_out phys =
+  let src = read_file file in
+  match Scald_sdl.Expander.load src with
+  | Error msg ->
+    Format.eprintf "%s: %s@." file msg;
+    1
+  | Ok { Scald_sdl.Expander.e_netlist = nl; e_summary; _ } ->
+    if not quiet then
+      Format.printf "expanded %s: %a@." file Scald_sdl.Expander.pp_summary e_summary;
+    (* The packaged-design mode (§2.5.3): compute interconnection
+       delays from placement and routing before verifying. *)
+    let phys_violations = ref [] in
+    if phys then begin
+      let pr = Physical.apply nl in
+      Format.printf "@.%a@." Physical.pp pr;
+      phys_violations := Physical.violations pr
+    end;
+    let cases =
+      match case_file with
+      | None -> []
+      | Some cf -> Case_analysis.parse_exn (read_file cf)
+    in
+    let report = Verifier.verify ~cases nl in
+    if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
+    if diagram then
+      Format.printf "@.%a@." (fun ppf -> Timing_diagram.pp ppf) report.Verifier.r_eval;
+    if slack then
+      Format.printf "@.%a@." Slack.pp (Slack.compute report.Verifier.r_eval);
+    (match vcd_out with
+    | None -> ()
+    | Some path ->
+      Vcd.write_file report.Verifier.r_eval path;
+      if not quiet then Format.printf "wrote waveforms to %s@." path);
+    if xref then begin
+      Format.printf "@.%a@." Scald_sdl.Xref.pp (Scald_sdl.Xref.build nl);
+      Format.printf "@.%a@." Report.pp_cross_reference nl
+    end;
+    if paths then Format.printf "@.%a@." Path_analysis.pp (Path_analysis.analyze nl);
+    (match prob with
+    | None -> ()
+    | Some correlation ->
+      let r = Prob_analysis.analyze ~correlation nl in
+      Format.printf "@.%a@." Prob_analysis.pp r;
+      Format.printf "min/max cycle: %.1f ns   3-sigma cycle: %.1f ns@."
+        (Prob_analysis.minmax_cycle_ns r)
+        (Prob_analysis.predicted_cycle_ns r ~z:3.0));
+    if corr_advice then begin
+      let advice = Path_analysis.Corr.advise nl in
+      Format.printf "@.CORR ADVISOR (clock-skew correlation, see thesis 4.2.3)@.";
+      if advice = [] then Format.printf "  no fictitious delays needed@."
+      else
+        List.iter (fun a -> Format.printf "  %a@." Path_analysis.Corr.pp_advice a) advice
+    end;
+    Format.printf "@.%a@." Report.pp_violations
+      (!phys_violations @ report.Verifier.r_violations);
+    if not quiet then
+      Format.printf "@.cases: %d  events: %d  evaluations: %d@."
+        (List.length report.Verifier.r_cases)
+        report.Verifier.r_events report.Verifier.r_evaluations;
+    if Verifier.clean report && !phys_violations = [] then 0 else 2
+
+open Cmdliner
+
+let file =
+  let doc = "Design source in the textual SCALD HDL." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN" ~doc)
+
+let case_file =
+  let doc = "Case-analysis specification file (e.g. \"CONTROL = 0; CONTROL = 1;\")." in
+  Arg.(value & opt (some file) None & info [ "c"; "cases" ] ~docv:"CASES" ~doc)
+
+let summary =
+  let doc = "Print the signal-value timing summary (Figure 3-10 style)." in
+  Arg.(value & flag & info [ "s"; "summary" ] ~doc)
+
+let xref =
+  let doc = "Print the cross-reference listings." in
+  Arg.(value & flag & info [ "x"; "xref" ] ~doc)
+
+let quiet =
+  let doc = "Only print the error listing." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let paths =
+  let doc = "Also run the worst-case path analysis (GRASP/RAS baseline)." in
+  Arg.(value & flag & info [ "p"; "paths" ] ~doc)
+
+let corr_advice =
+  let doc =
+    "Run the CORR advisor: find same-clock feedback paths that need a      fictitious delay to suppress false hold errors."
+  in
+  Arg.(value & flag & info [ "corr-advice" ] ~doc)
+
+let slack =
+  let doc = "Print the slack (margin) table, most critical constraint first." in
+  Arg.(value & flag & info [ "slack" ] ~doc)
+
+let diagram =
+  let doc = "Print an ASCII timing diagram of every signal." in
+  Arg.(value & flag & info [ "d"; "diagram" ] ~doc)
+
+let vcd_out =
+  let doc = "Write the evaluated waveforms to a VCD file." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let phys =
+  let doc =
+    "Run the physical-design subsystem first: compute interconnection delays \
+     from placement/routing and flag reflection-prone edge-sensitive runs."
+  in
+  Arg.(value & flag & info [ "physical" ] ~doc)
+
+let prob =
+  let doc =
+    "Also run the probability-based path analysis with the given component      correlation coefficient (0 = independent, 1 = same production run)."
+  in
+  Arg.(value & opt (some float) None & info [ "prob" ] ~docv:"RHO" ~doc)
+
+let cmd =
+  let doc = "verify the timing constraints of a synchronous digital design" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reproduction of the SCALD Timing Verifier (T. M. McWilliams, \
+         \"Verification of Timing Constraints on Large Digital Systems\", 1980): \
+         a seven-value symbolic timing simulation of one clock period that checks \
+         set-up, hold, minimum-pulse-width and clock-gating constraints against \
+         min/max component delays, interconnect delays and clock skew.";
+      `S Manpage.s_examples;
+      `P "$(tname) examples/register_file.sdl --summary";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scald_tv" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ file $ case_file $ summary $ xref $ quiet $ paths $ corr_advice
+      $ prob $ slack $ diagram $ vcd_out $ phys)
+
+let () = exit (Cmd.eval' cmd)

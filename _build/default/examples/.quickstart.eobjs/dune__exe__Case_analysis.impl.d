@@ -1,0 +1,1 @@
+examples/case_analysis.ml: Case_analysis Circuits Format List Printf Scald_cells Scald_core Verifier

@@ -1,0 +1,1 @@
+examples/cpu_slice.ml: Case_analysis Cells Delay Directive Format List Netlist Path_analysis Report Scald_cells Scald_core Timebase Verifier

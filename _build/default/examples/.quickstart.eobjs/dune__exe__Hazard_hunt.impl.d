@@ -1,0 +1,1 @@
+examples/hazard_hunt.ml: Check Circuits Format List Scald_cells Scald_core Verifier

@@ -1,0 +1,1 @@
+examples/hazard_hunt.mli:

@@ -1,0 +1,1 @@
+examples/modular_design.ml: Cells Check Delay Format List Modular Netlist Scald_cells Scald_core Timebase Verifier

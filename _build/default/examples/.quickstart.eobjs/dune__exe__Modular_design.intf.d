@@ -1,0 +1,1 @@
+examples/modular_design.mli:

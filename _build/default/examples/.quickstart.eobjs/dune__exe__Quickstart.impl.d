@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuits Format List Report Scald_cells Scald_core Verifier

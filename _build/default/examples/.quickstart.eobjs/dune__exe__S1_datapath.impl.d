@@ -1,0 +1,1 @@
+examples/s1_datapath.ml: Circuits Format List Report Scald_cells Scald_core Verifier

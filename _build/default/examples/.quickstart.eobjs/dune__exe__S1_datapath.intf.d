@@ -1,0 +1,1 @@
+examples/s1_datapath.mli:

@@ -1,0 +1,1 @@
+lib/cells/cells.ml: Delay List Netlist Primitive Printf Scald_core Timebase

@@ -1,0 +1,1 @@
+lib/cells/cells.mli: Delay Netlist Scald_core

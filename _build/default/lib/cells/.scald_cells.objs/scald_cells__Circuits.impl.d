@@ -1,0 +1,1 @@
+lib/cells/circuits.ml: Cells Delay Directive Eval List Netlist Primitive Printf Scald_core Timebase Tvalue Verifier Waveform

@@ -1,0 +1,1 @@
+lib/cells/circuits.mli: Netlist Scald_core Verifier

@@ -1,0 +1,1 @@
+lib/cells/ecl10k.ml: Cells Delay Netlist Primitive Printf Scald_core Timebase

@@ -1,0 +1,1 @@
+lib/cells/ecl10k.mli: Netlist Scald_core

@@ -1,0 +1,251 @@
+open Scald_core
+
+let counter = ref 0
+
+let internal nl prefix =
+  incr counter;
+  let id = Netlist.signal nl (Printf.sprintf "%s$%d /M" prefix !counter) in
+  Netlist.set_wire_delay nl id Delay.zero;
+  id
+
+(* ---- gates (Figure 3-8) ------------------------------------------------- *)
+
+let gate_delay = Delay.of_ns 1.0 2.9
+
+let gate2 nl ?name fn invert ~a ~b out =
+  ignore
+    (Netlist.add nl ?name
+       (Primitive.Gate { fn; n_inputs = 2; invert; delay = gate_delay })
+       ~inputs:[ a; b ] ~output:(Some out))
+
+let or2 nl ?name ~a ~b out = gate2 nl ?name Primitive.Or false ~a ~b out
+let nor2 nl ?name ~a ~b out = gate2 nl ?name Primitive.Or true ~a ~b out
+let and2 nl ?name ~a ~b out = gate2 nl ?name Primitive.And false ~a ~b out
+let nand2 nl ?name ~a ~b out = gate2 nl ?name Primitive.And true ~a ~b out
+
+let xor2 nl ?name ~a ~b out =
+  ignore
+    (Netlist.add nl ?name
+       (Primitive.Gate
+          { fn = Primitive.Xor; n_inputs = 2; invert = false; delay = Delay.of_ns 1.5 3.5 })
+       ~inputs:[ a; b ] ~output:(Some out))
+
+let inv nl ?name ~a out =
+  ignore
+    (Netlist.add nl ?name
+       (Primitive.Buf { invert = true; delay = gate_delay })
+       ~inputs:[ a ] ~output:(Some out))
+
+let buf nl ?name ?(delay = gate_delay) ~a out =
+  ignore
+    (Netlist.add nl ?name
+       (Primitive.Buf { invert = false; delay })
+       ~inputs:[ a ] ~output:(Some out))
+
+(* ---- multiplexer (Figure 3-6) --------------------------------------------- *)
+
+let mux2 nl ?name ~a ~b ~sel out =
+  ignore
+    (Netlist.add nl ?name
+       (Primitive.Mux2 { delay = Delay.of_ns 1.2 3.3; select_extra = Delay.of_ns 0.3 1.2 })
+       ~inputs:[ a; b; sel ] ~output:(Some out))
+
+(* ---- registers (Figures 2-1, 3-7) ------------------------------------------ *)
+
+let reg_delay = Delay.of_ns 1.5 4.5
+
+let register nl ?name ~data ~clock out =
+  let name = match name with Some n -> n | None -> "REG" in
+  ignore
+    (Netlist.add nl ~name
+       (Primitive.Reg { delay = reg_delay; has_set_reset = false })
+       ~inputs:[ data; clock ] ~output:(Some out));
+  ignore
+    (Netlist.add nl
+       ~name:(name ^ " SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ data; clock ] ~output:None)
+
+let register_sr nl ?name ~data ~clock ~set ~reset out =
+  let name = match name with Some n -> n | None -> "REG RS" in
+  ignore
+    (Netlist.add nl ~name
+       (Primitive.Reg { delay = reg_delay; has_set_reset = true })
+       ~inputs:[ data; clock; set; reset ] ~output:(Some out));
+  ignore
+    (Netlist.add nl
+       ~name:(name ^ " SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ data; clock ] ~output:None)
+
+(* ---- latch (Figure 2-2) ------------------------------------------------------ *)
+
+let latch nl ?name ~data ~enable out =
+  let name = match name with Some n -> n | None -> "LATCH" in
+  ignore
+    (Netlist.add nl ~name
+       (Primitive.Latch { delay = Delay.of_ns 1.0 3.5; has_set_reset = false })
+       ~inputs:[ data; enable ] ~output:(Some out));
+  (* The data must be stable around the latch's closing (falling enable)
+     edge: check against the complement of the enable. *)
+  let closing = { enable with Netlist.c_invert = not enable.Netlist.c_invert } in
+  ignore
+    (Netlist.add nl
+       ~name:(name ^ " SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ data; closing ] ~output:None)
+
+(* ---- register file (Figure 3-5) ------------------------------------------------ *)
+
+let chg n_inputs delay = Primitive.Gate { fn = Primitive.Chg; n_inputs; invert = false; delay }
+
+let ram16 nl ?name ~size ~data ~adr ~cs ~we out =
+  let name = match name with Some n -> n | None -> "16W RAM 10145A" in
+  (* The output changes whenever the address, chip select or write
+     enable do; the data inputs do not reach the output (DO is forced
+     LOW during writes), they are only constrained by the checkers.  The
+     two CHG gates of Figure 3-5 are in series, giving the 4.5/9.0 ns
+     read-access range of the data sheet (7 ns typical). *)
+  let read_path = internal nl (name ^ " READ") in
+  Netlist.set_width nl read_path size;
+  ignore
+    (Netlist.add nl ~name:(name ^ " 3 CHG")
+       (chg 3 (Delay.of_ns 3.0 6.0))
+       ~inputs:[ adr; cs; we ] ~output:(Some read_path));
+  ignore
+    (Netlist.add nl ~name:(name ^ " CHG")
+       (chg 1 (Delay.of_ns 1.5 3.0))
+       ~inputs:[ Netlist.conn read_path ]
+       ~output:(Some out));
+  (* Constraints from the data sheet (Figures 3-2, 3-5). *)
+  let not_we = { we with Netlist.c_invert = not we.Netlist.c_invert } in
+  ignore
+    (Netlist.add nl ~name:(name ^ " I SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 4.5; hold = Timebase.ps_of_ns (-1.0) })
+       ~inputs:[ data; not_we ] ~output:None);
+  ignore
+    (Netlist.add nl ~name:(name ^ " CS SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 3.5; hold = Timebase.ps_of_ns 1.0 })
+       ~inputs:[ cs; not_we ] ~output:None);
+  ignore
+    (Netlist.add nl ~name:(name ^ " A SETUP RISE HOLD FALL CHK")
+       (Primitive.Setup_rise_hold_fall_check
+          { setup = Timebase.ps_of_ns 3.5; hold = Timebase.ps_of_ns 1.0 })
+       ~inputs:[ adr; we ] ~output:None);
+  ignore
+    (Netlist.add nl ~name:(name ^ " MIN PULSE WIDTH")
+       (Primitive.Min_pulse_width { high = Timebase.ps_of_ns 4.0; low = 0 })
+       ~inputs:[ we ] ~output:None)
+
+(* ---- ALU with output latch (Figure 3-9) ------------------------------------------- *)
+
+let alu_latch nl ?name ~size ~a ~b ~carry_in ~fn_select ~enable out =
+  let name = match name with Some n -> n | None -> "ALU 10181" in
+  let comb = internal nl (name ^ " F") in
+  Netlist.set_width nl comb size;
+  ignore
+    (Netlist.add nl ~name:(name ^ " CHG")
+       (chg 4 (Delay.of_ns 4.0 8.0))
+       ~inputs:[ a; b; carry_in; fn_select ]
+       ~output:(Some comb));
+  ignore
+    (Netlist.add nl ~name:(name ^ " LATCH")
+       (Primitive.Latch { delay = Delay.of_ns 1.0 3.5; has_set_reset = false })
+       ~inputs:[ Netlist.conn comb; enable ]
+       ~output:(Some out));
+  let closing = { enable with Netlist.c_invert = not enable.Netlist.c_invert } in
+  ignore
+    (Netlist.add nl ~name:(name ^ " SETUP HOLD CHK")
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ Netlist.conn comb; closing ]
+       ~output:None)
+
+(* ---- larger structures -------------------------------------------------------- *)
+
+let parity_tree nl ?name ~inputs out =
+  let name = match name with Some n -> n | None -> "PARITY TREE" in
+  let xor_delay = Delay.of_ns 1.5 3.5 in
+  let rec reduce level = function
+    | [] -> invalid_arg "Cells.parity_tree: no inputs"
+    | [ last ] ->
+      (* final buffer onto the named output, zero extra delay *)
+      ignore
+        (Netlist.add nl ~name:(name ^ " OUT")
+           (Primitive.Buf { invert = false; delay = Delay.zero })
+           ~inputs:[ last ] ~output:(Some out))
+    | conns ->
+      let rec pair acc = function
+        | a :: b :: rest ->
+          let t = internal nl (Printf.sprintf "%s L%d" name level) in
+          ignore
+            (Netlist.add nl
+               ~name:(Printf.sprintf "%s XOR L%d.%d" name level (List.length acc))
+               (Primitive.Gate
+                  { fn = Primitive.Xor; n_inputs = 2; invert = false; delay = xor_delay })
+               ~inputs:[ a; b ] ~output:(Some t));
+          pair (Netlist.conn t :: acc) rest
+        | [ a ] -> List.rev (a :: acc)
+        | [] -> List.rev acc
+      in
+      reduce (level + 1) (pair [] conns)
+  in
+  reduce 0 inputs
+
+let adder nl ?name ~size ~a ~b ~carry_in ~sum ~carry_out () =
+  let name = match name with Some n -> n | None -> "ADDER" in
+  Netlist.set_width nl sum size;
+  ignore
+    (Netlist.add nl ~name:(name ^ " SUM CHG")
+       (chg 3 (Delay.of_ns 5.0 11.0))
+       ~inputs:[ a; b; carry_in ] ~output:(Some sum));
+  ignore
+    (Netlist.add nl ~name:(name ^ " CARRY CHG")
+       (chg 3 (Delay.of_ns 3.0 7.0))
+       ~inputs:[ a; b; carry_in ] ~output:(Some carry_out))
+
+let decoder nl ?name ~select out =
+  let name = match name with Some n -> n | None -> "DECODER" in
+  ignore
+    (Netlist.add nl ~name:(name ^ " CHG")
+       (chg 1 (Delay.of_ns 2.0 4.5))
+       ~inputs:[ select ] ~output:(Some out))
+
+let counter nl ?name ?(corr_ns = 4.0) ~clock ~enable out =
+  let name = match name with Some n -> n | None -> "COUNTER" in
+  (* increment logic from the counter output *)
+  let corr = internal nl (name ^ " CORR") in
+  buf nl ~name:(name ^ " CORR")
+    ~delay:(Delay.of_ns corr_ns corr_ns)
+    ~a:(Netlist.conn out) corr;
+  let next = internal nl (name ^ " NEXT") in
+  ignore
+    (Netlist.add nl ~name:(name ^ " INC CHG")
+       (chg 2 (Delay.of_ns 2.0 5.0))
+       ~inputs:[ Netlist.conn corr; enable ]
+       ~output:(Some next));
+  register nl ~name:(name ^ " REG") ~data:(Netlist.conn next) ~clock out
+
+let shift_register nl ?name ?(corr_ns = 4.0) ~stages ~data ~clock out =
+  if stages < 1 then invalid_arg "Cells.shift_register: need at least one stage";
+  let name = match name with Some n -> n | None -> "SHIFT REG" in
+  let rec go i current =
+    if i = stages - 1 then
+      register nl ~name:(Printf.sprintf "%s STAGE %d" name i) ~data:current ~clock out
+    else begin
+      let q = internal nl (Printf.sprintf "%s Q%d" name i) in
+      register nl ~name:(Printf.sprintf "%s STAGE %d" name i) ~data:current ~clock q;
+      let d = internal nl (Printf.sprintf "%s D%d" name i) in
+      buf nl
+        ~name:(Printf.sprintf "%s CORR %d" name i)
+        ~delay:(Delay.of_ns corr_ns corr_ns)
+        ~a:(Netlist.conn q) d;
+      go (i + 1) (Netlist.conn d)
+    end
+  in
+  go 0 data

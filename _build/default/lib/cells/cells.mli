@@ -1,0 +1,191 @@
+(** ECL-10K component models from Chapter III of the thesis.
+
+    Each function expands one chip macro into Timing Verifier primitives
+    on a netlist, exactly as the SCALD macro definitions of Figures 3-5
+    to 3-9 do: the timing path through the chip is modelled with CHG
+    gates of the data-sheet delays, and the data-sheet constraints with
+    set-up/hold and minimum-pulse-width checkers.  Timing values follow
+    the figures; the few entries that are illegible in the published
+    scan use the typical ECL-10K values from the same data-sheet family
+    (they are all single constants, easy to adjust).
+
+    Internal macro nets ("/M" signals) are created with zero
+    interconnection delay — the default wire delay models board-level
+    runs between chips, not paths inside a package. *)
+
+open Scald_core
+
+val internal : Netlist.t -> string -> int
+(** A fresh chip-internal net with zero wire delay.  The given prefix is
+    made unique. *)
+
+(** {1 Gates (Figure 3-8)} *)
+
+val or2 :
+  Netlist.t -> ?name:string -> a:Netlist.conn -> b:Netlist.conn -> int -> unit
+(** 2-input OR, 1.0/2.9 ns. *)
+
+val nor2 :
+  Netlist.t -> ?name:string -> a:Netlist.conn -> b:Netlist.conn -> int -> unit
+
+val and2 :
+  Netlist.t -> ?name:string -> a:Netlist.conn -> b:Netlist.conn -> int -> unit
+(** 2-input AND, 1.0/2.9 ns. *)
+
+val nand2 :
+  Netlist.t -> ?name:string -> a:Netlist.conn -> b:Netlist.conn -> int -> unit
+
+val xor2 :
+  Netlist.t -> ?name:string -> a:Netlist.conn -> b:Netlist.conn -> int -> unit
+(** 2-input XOR, 1.5/3.5 ns. *)
+
+val inv : Netlist.t -> ?name:string -> a:Netlist.conn -> int -> unit
+(** Inverter, 1.0/2.9 ns. *)
+
+val buf : Netlist.t -> ?name:string -> ?delay:Delay.t -> a:Netlist.conn -> int -> unit
+(** Buffer; default 1.0/2.9 ns.  With an explicit delay this also serves
+    as a clock buffer or the [CORR] fictitious delay of §4.2.3. *)
+
+(** {1 2-input multiplexer chip (Figure 3-6)} *)
+
+val mux2 :
+  Netlist.t ->
+  ?name:string ->
+  a:Netlist.conn ->
+  b:Netlist.conn ->
+  sel:Netlist.conn ->
+  int ->
+  unit
+(** 1.2/3.3 ns from any input; the select input sees an additional
+    0.3/1.2 ns. *)
+
+(** {1 Edge-triggered register chip (Figure 3-7)} *)
+
+val register :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  clock:Netlist.conn ->
+  int ->
+  unit
+(** Delay 1.5/4.5 ns; checks set-up 2.5 ns and hold 1.5 ns of the data
+    input against the clock's rising edge. *)
+
+val register_sr :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  clock:Netlist.conn ->
+  set:Netlist.conn ->
+  reset:Netlist.conn ->
+  int ->
+  unit
+(** Register with asynchronous SET/RESET (Figure 2-1, second model). *)
+
+(** {1 Transparent latch (Figure 2-2)} *)
+
+val latch :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** Delay 1.0/3.5 ns; checks set-up 2.5 ns before and hold 1.5 ns after
+    the falling (closing) edge of the enable. *)
+
+(** {1 16-word register file chip, "16W RAM 10145A" (Figures 3-1 … 3-5)} *)
+
+val ram16 :
+  Netlist.t ->
+  ?name:string ->
+  size:int ->
+  data:Netlist.conn ->
+  adr:Netlist.conn ->
+  cs:Netlist.conn ->
+  we:Netlist.conn ->
+  int ->
+  unit
+(** The Figure 3-5 macro: the output changes 3.0/6.0 ns after the
+    address, chip-select or data inputs change and 1.5/3.0 ns after the
+    write-enable changes; the data inputs must be stable 4.5 ns before
+    the falling edge of [WE] with a -1.0 ns hold; the address lines must
+    be stable 3.5 ns before the rising edge of [WE], while it is high,
+    and 1.0 ns after its falling edge; [CS] is checked like the data
+    inputs; [WE] must be high at least 4.0 ns. *)
+
+(** {1 Arithmetic/logic chip with output latch (Figure 3-9)} *)
+
+val alu_latch :
+  Netlist.t ->
+  ?name:string ->
+  size:int ->
+  a:Netlist.conn ->
+  b:Netlist.conn ->
+  carry_in:Netlist.conn ->
+  fn_select:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** 16-function ALU on [A], [B] and [C1] selected by [S], with a
+    transparent output latch enabled by [E]: the combinational delay is
+    modelled by CHG gates (4.0/8.0 ns), the latch adds 1.0/3.5 ns, and
+    the data inputs are checked for set-up/hold around the latch closing
+    (set-up 2.5 ns, hold 1.5 ns). *)
+
+(** {1 Larger structures}
+
+    Built from the same primitives, the way S-1 designers composed
+    SCALD macros (§3.1).  All timing-only: data-path logic is modelled
+    with CHG gates, whose outputs change when any input does. *)
+
+val parity_tree :
+  Netlist.t -> ?name:string -> inputs:Netlist.conn list -> int -> unit
+(** A tree of XOR gates reduced pairwise (1.5/3.5 ns per level) — the
+    thesis's canonical example of logic whose function is irrelevant to
+    timing (§2.4.2). *)
+
+val adder :
+  Netlist.t ->
+  ?name:string ->
+  size:int ->
+  a:Netlist.conn ->
+  b:Netlist.conn ->
+  carry_in:Netlist.conn ->
+  sum:int ->
+  carry_out:int ->
+  unit ->
+  unit
+(** A carry-lookahead-class adder: the sum settles 5.0/11.0 ns after the
+    operands, the carry output faster (3.0/7.0 ns). *)
+
+val decoder :
+  Netlist.t -> ?name:string -> select:Netlist.conn -> int -> unit
+(** An n-to-2^n decoder line bundle, 2.0/4.5 ns. *)
+
+val counter :
+  Netlist.t ->
+  ?name:string ->
+  ?corr_ns:float ->
+  clock:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** A synchronous counter: register + increment logic fed back into the
+    register.  Feedback counters are the thesis's prime example of the
+    clock-skew correlation problem (§4.2.3), so a [CORR] fictitious
+    delay (default 4.0 ns) is built into the feedback path, exactly as
+    the S-1 designers did. *)
+
+val shift_register :
+  Netlist.t ->
+  ?name:string ->
+  ?corr_ns:float ->
+  stages:int ->
+  data:Netlist.conn ->
+  clock:Netlist.conn ->
+  int ->
+  unit
+(** [stages] registers in series; each stage's feedback-free hop still
+    races the clock skew, so each stage includes a [CORR] delay
+    (§4.2.3 names shift registers alongside counters). *)

@@ -1,0 +1,302 @@
+open Scald_core
+
+(* ---- Figure 2-5 / §3.2 ---------------------------------------------------- *)
+
+type register_file = {
+  rf_netlist : Netlist.t;
+  rf_adr : int;
+  rf_ram_out : int;
+  rf_reg_out : int;
+  rf_write_en : int;
+}
+
+let register_file_example ?(size = 32) () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25 in
+  let nl = Netlist.create tb in
+  (* Interface signals, with the assertions of §3.2. *)
+  let w_data = Netlist.signal nl "W DATA .S0-6" in
+  Netlist.set_width nl w_data size;
+  let read_adr = Netlist.signal nl "READ ADR .S4-9" in
+  Netlist.set_width nl read_adr 4;
+  let write_adr = Netlist.signal nl "WRITE ADR .S0-6" in
+  Netlist.set_width nl write_adr 4;
+  let write = Netlist.signal nl "WRITE .S0-6 L" in
+  let ck_we = Netlist.signal nl "CK .P2-3 L" in
+  let ck_main = Netlist.signal nl "CK .P0-4" in
+  (* Clock runs are hand-adjusted to the asserted skew; their listed
+     interconnection delay is zero (the skew represents it). *)
+  Netlist.set_wire_delay nl ck_we Delay.zero;
+  Netlist.set_wire_delay nl ck_main Delay.zero;
+  (* Multiplexed register-file address: read address in the second half
+     of the cycle (clock low), write address in the first (clock high);
+     the designer specified a 0.0/6.0 ns wire delay for these lines. *)
+  let adr = Netlist.signal nl "ADR<0:3>" in
+  Netlist.set_width nl adr 4;
+  Netlist.set_wire_delay nl adr (Delay.of_ns 0.0 6.0);
+  Cells.mux2 nl ~name:"ADR MUX"
+    ~a:(Netlist.conn read_adr)
+    ~b:(Netlist.conn write_adr)
+    ~sel:(Netlist.conn ck_main)
+    adr;
+  (* Write-enable pulse: the clock gated by the WRITE control.  The &H
+     directive checks WRITE is stable while the clock is asserted,
+     assumes it enables the gate, and refers the clock timing to the
+     gate output (§2.6). *)
+  let write_en = Netlist.signal nl "WRITE EN" in
+  Cells.and2 nl ~name:"WRITE EN GATE"
+    ~a:(Netlist.conn ~invert:true ~directive:[ Directive.H ] ck_we)
+    ~b:(Netlist.conn ~invert:true write)
+    write_en;
+  (* The register file itself. *)
+  let ram_out = Netlist.signal nl "RAM OUT" in
+  Netlist.set_width nl ram_out size;
+  let cs = Netlist.signal nl "CS" in
+  Cells.ram16 nl ~size
+    ~data:(Netlist.conn w_data)
+    ~adr:(Netlist.conn adr)
+    ~cs:(Netlist.conn cs)
+    ~we:(Netlist.conn write_en)
+    ram_out;
+  (* Output register, clocked at the start of the next cycle. *)
+  let reg_out = Netlist.signal nl "REG OUT" in
+  Netlist.set_width nl reg_out size;
+  Cells.register nl ~name:"OUTPUT REG"
+    ~data:(Netlist.conn ram_out)
+    ~clock:(Netlist.conn ck_main)
+    reg_out;
+  { rf_netlist = nl; rf_adr = adr; rf_ram_out = ram_out; rf_reg_out = reg_out;
+    rf_write_en = write_en }
+
+(* ---- Figure 1-5 ------------------------------------------------------------ *)
+
+type gated_clock = {
+  gc_netlist : Netlist.t;
+  gc_reg_clock : int;
+  gc_reg_out : int;
+}
+
+let gated_clock_hazard ?(enable_stable_at = 2.5) () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:10.0 in
+  let nl = Netlist.create tb in
+  let clock = Netlist.signal nl "CLOCK .P2-3" in
+  Netlist.set_wire_delay nl clock Delay.zero;
+  let enable =
+    Netlist.signal nl (Printf.sprintf "ENABLE .S%g-3.5 L" enable_stable_at)
+  in
+  let reg_clock = Netlist.signal nl "REG CLOCK" in
+  Cells.and2 nl ~name:"CLOCK GATE"
+    ~a:(Netlist.conn ~directive:[ Directive.A ] clock)
+    ~b:(Netlist.conn enable)
+    reg_clock;
+  let data = Netlist.signal nl "D .S0-2" in
+  let reg_out = Netlist.signal nl "Q" in
+  Cells.register nl ~name:"FIG 1-5 REG" ~data:(Netlist.conn data)
+    ~clock:(Netlist.conn reg_clock) reg_out;
+  { gc_netlist = nl; gc_reg_clock = reg_clock; gc_reg_out = reg_out }
+
+(* ---- Figure 2-6 --------------------------------------------------------------- *)
+
+type bypass = {
+  bp_netlist : Netlist.t;
+  bp_input : int;
+  bp_output : int;
+  bp_control : string;
+}
+
+(* Exact-delay elements so that the path arithmetic is exact: 10 ns input
+   buffer, two 10 ns delay elements, two 5 ns multiplexers; every case
+   path is 30 ns, the no-case worst path 40 ns. *)
+let bypass_example () =
+  let tb = Timebase.make ~period_ns:100.0 ~clock_unit_ns:10.0 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let input = Netlist.signal nl "INPUT .S1-9" in
+  let control = Netlist.signal nl "CONTROL SIGNAL .S0-10" in
+  let exact ns = Delay.of_ns ns ns in
+  let mux ~name ~a ~b ~sel out =
+    ignore
+      (Netlist.add nl ~name
+         (Primitive.Mux2 { delay = exact 5.0; select_extra = Delay.zero })
+         ~inputs:[ a; b; sel ] ~output:(Some out))
+  in
+  let n0 = Netlist.signal nl "N0" in
+  Cells.buf nl ~name:"IN BUF" ~delay:(exact 10.0) ~a:(Netlist.conn input) n0;
+  let d1 = Netlist.signal nl "D1" in
+  Cells.buf nl ~name:"DELAY 1" ~delay:(exact 10.0) ~a:(Netlist.conn n0) d1;
+  let m1 = Netlist.signal nl "M1" in
+  mux ~name:"MUX 1" ~a:(Netlist.conn n0) ~b:(Netlist.conn d1)
+    ~sel:(Netlist.conn control) m1;
+  let d2 = Netlist.signal nl "D2" in
+  Cells.buf nl ~name:"DELAY 2" ~delay:(exact 10.0) ~a:(Netlist.conn m1) d2;
+  let output = Netlist.signal nl "OUTPUT" in
+  (* The selects are complementary: when MUX 1 takes the delayed input
+     (control = 1), MUX 2 must take the direct one, and vice versa. *)
+  mux ~name:"MUX 2" ~a:(Netlist.conn m1) ~b:(Netlist.conn d2)
+    ~sel:(Netlist.conn ~invert:true control) output;
+  { bp_netlist = nl; bp_input = input; bp_output = output;
+    bp_control = "CONTROL SIGNAL .S0-10" }
+
+let path_ns ~netlist ~report ~input ~output =
+  let period = Timebase.period (Netlist.timebase netlist) in
+  let input_wf = Eval.value report.Verifier.r_eval input in
+  let output_wf = Eval.value report.Verifier.r_eval output in
+  let change_end wf =
+    (* Latest end of a changing interval, as an absolute cycle time. *)
+    Waveform.intervals_where (fun v -> not (Tvalue.is_stable v)) wf
+    |> List.fold_left (fun acc (s, w) -> max acc ((s + w) mod (2 * period))) 0
+  in
+  let input_end = change_end input_wf in
+  let output_end = change_end output_wf in
+  let d = output_end - input_end in
+  let d = if d < 0 then d + period else d in
+  Timebase.ns_of_ps d
+
+let bypass_path_ns report bp =
+  path_ns ~netlist:bp.bp_netlist ~report ~input:bp.bp_input ~output:bp.bp_output
+
+type chain = {
+  ch_netlist : Netlist.t;
+  ch_input : int;
+  ch_output : int;
+  ch_controls : string list;
+}
+
+let bypass_chain ~stages =
+  if stages < 1 then invalid_arg "Circuits.bypass_chain: need at least one stage";
+  (* Period scaled so that even the pessimistic 40 ns-per-stage path
+     fits in one cycle. *)
+  let period_ns = float_of_int (stages * 50) +. 50. in
+  let tb = Timebase.make ~period_ns ~clock_unit_ns:10.0 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let exact ns = Delay.of_ns ns ns in
+  let mux ~name ~a ~b ~sel out =
+    ignore
+      (Netlist.add nl ~name
+         (Primitive.Mux2 { delay = exact 5.0; select_extra = Delay.zero })
+         ~inputs:[ a; b; sel ] ~output:(Some out))
+  in
+  let input =
+    Netlist.signal nl (Printf.sprintf "INPUT .S1-%g" (period_ns /. 10. -. 1.))
+  in
+  let rec stage i current controls =
+    if i >= stages then (current, List.rev controls)
+    else begin
+      let control_name = Printf.sprintf "CONTROL %d .S0-%g" i (period_ns /. 10.) in
+      let control = Netlist.signal nl control_name in
+      let n0 = Netlist.signal nl (Printf.sprintf "S%d N0" i) in
+      Cells.buf nl ~name:(Printf.sprintf "S%d IN BUF" i) ~delay:(exact 10.0)
+        ~a:(Netlist.conn current) n0;
+      let d1 = Netlist.signal nl (Printf.sprintf "S%d D1" i) in
+      Cells.buf nl ~name:(Printf.sprintf "S%d DELAY 1" i) ~delay:(exact 10.0)
+        ~a:(Netlist.conn n0) d1;
+      let m1 = Netlist.signal nl (Printf.sprintf "S%d M1" i) in
+      mux ~name:(Printf.sprintf "S%d MUX 1" i) ~a:(Netlist.conn n0) ~b:(Netlist.conn d1)
+        ~sel:(Netlist.conn control) m1;
+      let d2 = Netlist.signal nl (Printf.sprintf "S%d D2" i) in
+      Cells.buf nl ~name:(Printf.sprintf "S%d DELAY 2" i) ~delay:(exact 10.0)
+        ~a:(Netlist.conn m1) d2;
+      let out = Netlist.signal nl (Printf.sprintf "S%d OUT" i) in
+      mux ~name:(Printf.sprintf "S%d MUX 2" i) ~a:(Netlist.conn m1) ~b:(Netlist.conn d2)
+        ~sel:(Netlist.conn ~invert:true control) out;
+      stage (i + 1) out (control_name :: controls)
+    end
+  in
+  let output, controls = stage 0 input [] in
+  { ch_netlist = nl; ch_input = input; ch_output = output; ch_controls = controls }
+
+let chain_path_ns report ch =
+  path_ns ~netlist:ch.ch_netlist ~report ~input:ch.ch_input ~output:ch.ch_output
+
+(* ---- Figure 3-12 ----------------------------------------------------------------- *)
+
+type arith = {
+  ar_netlist : Netlist.t;
+  ar_alu_out : int;
+  ar_status_reg : int;
+}
+
+let arithmetic_example ?(size = 36) () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25 in
+  let nl = Netlist.create tb in
+  let a_bus = Netlist.signal nl "A BUS .S0-6" in
+  Netlist.set_width nl a_bus size;
+  let b_bus = Netlist.signal nl "B BUS .S0-6" in
+  Netlist.set_width nl b_bus size;
+  let carry_in = Netlist.signal nl "CARRY IN .S0-6" in
+  let opcode = Netlist.signal nl "OPCODE .S0-5" in
+  Netlist.set_width nl opcode 8;
+  (* Function decoder: timing-only model of the opcode decode. *)
+  let alu_fn = Netlist.signal nl "ALU FN" in
+  Netlist.set_width nl alu_fn 4;
+  ignore
+    (Netlist.add nl ~name:"FN DECODER"
+       (Primitive.Gate
+          { fn = Primitive.Chg; n_inputs = 1; invert = false; delay = Delay.of_ns 2.0 4.0 })
+       ~inputs:[ Netlist.conn opcode ]
+       ~output:(Some alu_fn));
+  let latch_en = Netlist.signal nl "LATCH EN .P3-5" in
+  Netlist.set_wire_delay nl latch_en Delay.zero;
+  let alu_out = Netlist.signal nl "ALU OUT" in
+  Netlist.set_width nl alu_out size;
+  Cells.alu_latch nl ~size ~a:(Netlist.conn a_bus) ~b:(Netlist.conn b_bus)
+    ~carry_in:(Netlist.conn carry_in)
+    ~fn_select:(Netlist.conn alu_fn)
+    ~enable:(Netlist.conn latch_en)
+    alu_out;
+  (* Debugging/status register with load-enable gating of its clock. *)
+  let ck = Netlist.signal nl "CK .P0-1 L" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let load_en = Netlist.signal nl "LOAD STATUS .S7.5-1.5 L" in
+  let status_ck = Netlist.signal nl "STATUS CK" in
+  Cells.and2 nl ~name:"STATUS CK GATE"
+    ~a:(Netlist.conn ~invert:true ~directive:[ Directive.H ] ck)
+    ~b:(Netlist.conn ~invert:true load_en)
+    status_ck;
+  let status = Netlist.signal nl "STATUS REG" in
+  Netlist.set_width nl status size;
+  Cells.register nl ~name:"STATUS REG"
+    ~data:(Netlist.conn alu_out)
+    ~clock:(Netlist.conn status_ck)
+    status;
+  { ar_netlist = nl; ar_alu_out = alu_out; ar_status_reg = status }
+
+(* ---- Figures 4-1 / 4-2 ---------------------------------------------------------------- *)
+
+type feedback = {
+  fb_netlist : Netlist.t;
+  fb_reg_out : int;
+}
+
+let correlation_example ~corr_delay_ns =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let ck = Netlist.signal nl "CK .P(0,0)0-1" in
+  (* The clock buffer inserts a relatively large skew (1.0/5.0 ns). *)
+  let reg_ck = Netlist.signal nl "REG CK" in
+  Cells.buf nl ~name:"CK BUF" ~delay:(Delay.of_ns 1.0 5.0) ~a:(Netlist.conn ck) reg_ck;
+  (* NEW DATA changes mid-cycle, well clear of the early clock edge: the
+     only questionable path is the feedback one. *)
+  let new_data = Netlist.signal nl "NEW DATA .S5-2" in
+  let sel = Netlist.signal nl "SEL .S0-8" in
+  let reg_out = Netlist.signal nl "Q" in
+  let reg_data = Netlist.signal nl "REG DATA" in
+  (* Optional CORR fictitious delay in the feedback path (§4.2.3). *)
+  let feedback =
+    if corr_delay_ns <= 0. then reg_out
+    else begin
+      let corr = Netlist.signal nl "CORR OUT" in
+      Cells.buf nl ~name:"CORR"
+        ~delay:(Delay.of_ns corr_delay_ns corr_delay_ns)
+        ~a:(Netlist.conn reg_out) corr;
+      corr
+    end
+  in
+  Cells.mux2 nl ~name:"RELOAD MUX"
+    ~a:(Netlist.conn feedback)
+    ~b:(Netlist.conn new_data)
+    ~sel:(Netlist.conn sel)
+    reg_data;
+  Cells.register nl ~name:"FEEDBACK REG"
+    ~data:(Netlist.conn reg_data)
+    ~clock:(Netlist.conn reg_ck)
+    reg_out;
+  { fb_netlist = nl; fb_reg_out = reg_out }

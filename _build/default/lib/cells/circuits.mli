@@ -1,0 +1,113 @@
+(** The worked circuits of the thesis, reconstructed from its figures.
+
+    Each builder returns the netlist plus the net ids a caller needs to
+    inspect.  These circuits drive the unit tests, the examples and the
+    benchmark harness that regenerates the corresponding figures. *)
+
+open Scald_core
+
+(** {1 Figure 2-5 / §3.2: the register-file verification example}
+
+    A 16-word by [size]-bit register file, an output register, a 2-input
+    multiplexer selecting between the read and write addresses, and the
+    write-enable gating.  Cycle time 50 ns, clock unit 6.25 ns (8 units
+    per cycle), default wire delay 0.0/2.0 ns, address wire delay
+    0.0/6.0 ns, precision clock skew ±1.0 ns. *)
+
+type register_file = {
+  rf_netlist : Netlist.t;
+  rf_adr : int;       (** the multiplexed address lines "ADR<0:3>" *)
+  rf_ram_out : int;   (** register-file output *)
+  rf_reg_out : int;   (** output register *)
+  rf_write_en : int;  (** gated write-enable pulse *)
+}
+
+val register_file_example : ?size:int -> unit -> register_file
+
+(** {1 Figure 1-5: hazard on a gated register clock}
+
+    CLOCK is high 20–30 ns into the cycle; ENABLE wants to inhibit the
+    register but only reaches zero 25 ns into the cycle, so a runt pulse
+    can reach the register clock.  With the [&A] directive on the clock
+    input the verifier reports the hazard. *)
+
+type gated_clock = {
+  gc_netlist : Netlist.t;
+  gc_reg_clock : int;
+  gc_reg_out : int;
+}
+
+val gated_clock_hazard : ?enable_stable_at:float -> unit -> gated_clock
+(** [enable_stable_at] is the clock-unit time at which ENABLE becomes
+    stable; the thesis's error case corresponds to 2.5 (25 ns), a fixed
+    circuit to 1.5 (before the clock pulse). *)
+
+(** {1 Figure 2-6: the case-analysis circuit}
+
+    Two multiplexers whose select lines are driven by complementary
+    values of CONTROL SIGNAL; without case analysis the verifier sees a
+    40 ns worst-case INPUT-to-OUTPUT path through both 20 ns delay
+    elements, with case analysis only 30 ns. *)
+
+type bypass = {
+  bp_netlist : Netlist.t;
+  bp_input : int;
+  bp_output : int;
+  bp_control : string;  (** the control signal name, for case specs *)
+}
+
+val bypass_example : unit -> bypass
+
+val bypass_path_ns : Verifier.report -> bypass -> float
+(** The measured worst INPUT-to-OUTPUT delay: the latest time (relative
+    to the moment INPUT stops changing) at which OUTPUT is still
+    changing. *)
+
+type chain = {
+  ch_netlist : Netlist.t;
+  ch_input : int;
+  ch_output : int;
+  ch_controls : string list;  (** one control signal name per stage *)
+}
+
+val bypass_chain : stages:int -> chain
+(** [stages] Figure 2-6 stages in series: the true worst path is 30 ns
+    per stage for {e every} setting of the controls, but value-blind
+    path analysis sees 40 ns per stage.  Used for the spurious-error
+    comparison against {!Path_analysis}. *)
+
+val chain_path_ns : Verifier.report -> chain -> float
+(** Worst INPUT-to-OUTPUT delay of the chain, as {!bypass_path_ns}. *)
+
+(** {1 Figure 3-12: the S-1 Mark IIA arithmetic circuit}
+
+    A [size]-bit ALU with output latch, a debugging/status register with
+    load-enable gating, and the function decoder feeding the ALU select
+    inputs; all interface signals carry assertions. *)
+
+type arith = {
+  ar_netlist : Netlist.t;
+  ar_alu_out : int;
+  ar_status_reg : int;
+}
+
+val arithmetic_example : ?size:int -> unit -> arith
+
+(** {1 Figures 4-1 / 4-2: the correlation problem}
+
+    A register reloaded from its own output through a multiplexer, with
+    a skew-heavy buffer on its clock.  The minimum register + mux delay
+    exceeds the hold time, but because the verifier reasons in absolute
+    times it thinks the feedback data changes during the hold window and
+    emits a false error (Figure 4-1).  Inserting the [CORR] fictitious
+    delay — at least as long as the clock skew — into the feedback path
+    suppresses it (Figure 4-2). *)
+
+type feedback = {
+  fb_netlist : Netlist.t;
+  fb_reg_out : int;
+}
+
+val correlation_example : corr_delay_ns:float -> feedback
+(** [corr_delay_ns = 0.] reproduces the false error; a value at least
+    the clock skew (e.g. 4.0 ns) suppresses it. *)

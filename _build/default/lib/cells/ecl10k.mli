@@ -1,0 +1,90 @@
+(** A broader ECL-10K component library.
+
+    {!Cells} holds exactly the chips whose SCALD definitions the thesis
+    prints (Figures 3-5 … 3-9).  This module extends the library across
+    the rest of the 10K family the S-1 drew from, following the same
+    modelling pattern: data paths as CHG gates with data-sheet
+    propagation ranges, constraints as set-up/hold and pulse-width
+    checkers, chip-internal nets with zero wire delay.  Timing values
+    are the typical commercial 10K numbers (min = 0.5×typ, max =
+    1.5×typ, the data-sheet guard-banding convention of the era).
+
+    All outputs are the final positional argument, as in {!Cells}. *)
+
+open Scald_core
+
+val dff_10131 :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  clock:Netlist.conn ->
+  set:Netlist.conn ->
+  reset:Netlist.conn ->
+  int ->
+  unit
+(** Dual D master/slave flip-flop with asynchronous set/reset: delay
+    1.7/4.4 ns, set-up 2.5 ns, hold 1.5 ns, clock pulse at least
+    3.3 ns high. *)
+
+val latch_10133 :
+  Netlist.t -> ?name:string -> data:Netlist.conn -> enable:Netlist.conn -> int -> unit
+(** Quad latch: delay 1.5/4.0 ns, set-up 2.0 ns / hold 1.5 ns around the
+    closing edge. *)
+
+val mux8_10164 :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  select:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** 8-line multiplexer: 2.5/5.0 ns from the data inputs, 3.0/6.5 ns from
+    the select lines, 2.0/4.5 ns from the enable. *)
+
+val decoder_10162 :
+  Netlist.t ->
+  ?name:string ->
+  select:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** Binary-to-1-of-8 decoder (low outputs): 2.0/4.8 ns. *)
+
+val parity_10160 :
+  Netlist.t -> ?name:string -> data:Netlist.conn -> int -> unit
+(** 12-bit parity generator/checker: 2.9/6.8 ns through the tree. *)
+
+val carry_10179 :
+  Netlist.t ->
+  ?name:string ->
+  g:Netlist.conn ->
+  p:Netlist.conn ->
+  carry_in:Netlist.conn ->
+  int ->
+  unit
+(** Look-ahead carry block: 1.0/2.9 ns — the fast path that makes
+    carry-select adders work. *)
+
+val shift_10141 :
+  Netlist.t ->
+  ?name:string ->
+  data:Netlist.conn ->
+  clock:Netlist.conn ->
+  int ->
+  unit
+(** 4-bit universal shift register, modelled as its serial path: four
+    internal master/slave stages with per-stage checkers and a clock
+    pulse-width requirement; the given data enters stage 0 and the
+    output is stage 3. *)
+
+val counter_10136 :
+  Netlist.t ->
+  ?name:string ->
+  clock:Netlist.conn ->
+  enable:Netlist.conn ->
+  int ->
+  unit
+(** Universal hexadecimal counter: the count-feedback loop of §4.2.3
+    with its protective CORR delay built in, plus the clock pulse-width
+    checker. *)

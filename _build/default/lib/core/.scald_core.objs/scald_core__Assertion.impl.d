@@ -1,0 +1,1 @@
+lib/core/assertion.ml: Float Format List Printf Result String Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/case_analysis.ml: Format List Netlist Printf String Tvalue

@@ -1,0 +1,1 @@
+lib/core/case_analysis.mli: Format Netlist Tvalue

@@ -1,0 +1,1 @@
+lib/core/check.ml: Assertion Format List Printf Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/check.mli: Assertion Format Timebase Waveform

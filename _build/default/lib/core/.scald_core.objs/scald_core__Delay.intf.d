@@ -1,0 +1,1 @@
+lib/core/delay.mli: Format Timebase

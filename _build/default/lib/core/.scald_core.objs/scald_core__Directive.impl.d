@@ -1,0 +1,1 @@
+lib/core/directive.ml: Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Assertion Check Delay Directive List Netlist Primitive Queue Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/modular.ml: Format Hashtbl List Netlist Option String Verifier

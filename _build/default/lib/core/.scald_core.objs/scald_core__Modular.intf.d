@@ -1,0 +1,1 @@
+lib/core/modular.mli: Format Netlist Verifier

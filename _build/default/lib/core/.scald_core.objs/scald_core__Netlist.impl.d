@@ -1,0 +1,1 @@
+lib/core/netlist.ml: Array Assertion Delay Directive Hashtbl List Primitive Printf Signal_name Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/netlist.mli: Assertion Delay Directive Primitive Timebase Waveform

@@ -1,0 +1,1 @@
+lib/core/primitive.ml: Delay Format Printf Timebase Tvalue

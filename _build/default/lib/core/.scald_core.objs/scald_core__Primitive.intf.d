@@ -1,0 +1,1 @@
+lib/core/primitive.mli: Delay Format Timebase Tvalue

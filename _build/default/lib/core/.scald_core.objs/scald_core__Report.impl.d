@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Check Eval Format List Netlist String Waveform

@@ -1,0 +1,1 @@
+lib/core/signal_name.ml: Assertion Buffer Char Format Printf String

@@ -1,0 +1,1 @@
+lib/core/slack.ml: Array Eval Format List Netlist Primitive Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/timebase.ml: Float Format

@@ -1,0 +1,1 @@
+lib/core/timing_diagram.ml: Array Bytes Eval Format List Netlist Option Printf String Timebase Tvalue Waveform

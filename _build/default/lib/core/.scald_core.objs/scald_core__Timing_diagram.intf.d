@@ -1,0 +1,1 @@
+lib/core/timing_diagram.mli: Eval Format Waveform

@@ -1,0 +1,1 @@
+lib/core/tvalue.ml: Char Format Int

@@ -1,0 +1,1 @@
+lib/core/vcd.ml: Buffer Char Eval Hashtbl Int List Netlist Option Printf String Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Case_analysis Check Eval Format Hashtbl List Netlist Report

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Case_analysis Check Eval Format Netlist

@@ -1,0 +1,1 @@
+lib/core/waveform.ml: Array Format Int List Printf Timebase Tvalue

@@ -1,0 +1,1 @@
+lib/core/wire_rule.ml: Delay Format List Netlist

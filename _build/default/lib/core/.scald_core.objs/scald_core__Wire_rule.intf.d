@@ -1,0 +1,1 @@
+lib/core/wire_rule.mli: Delay Format Netlist

@@ -1,0 +1,64 @@
+type case = (string * Tvalue.t) list
+
+let parse text =
+  let groups = String.split_on_char ';' text in
+  let parse_assignment s =
+    match String.index_opt s '=' with
+    | None -> Error (Printf.sprintf "case assignment missing '=': %S" (String.trim s))
+    | Some i ->
+      let name = String.trim (String.sub s 0 i) in
+      let value = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      if name = "" then Error "case assignment with empty signal name"
+      else (
+        match value with
+        | "0" -> Ok (name, Tvalue.V0)
+        | "1" -> Ok (name, Tvalue.V1)
+        | v -> Error (Printf.sprintf "case value must be 0 or 1, got %S" v))
+  in
+  let parse_group g =
+    let parts =
+      String.split_on_char ',' g |> List.map String.trim |> List.filter (fun s -> s <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match parse_assignment p with Ok a -> go (a :: acc) rest | Error e -> Error e)
+    in
+    go [] parts
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | g :: rest -> (
+      if String.trim g = "" then go acc rest
+      else
+        match parse_group g with
+        | Ok [] -> go acc rest
+        | Ok c -> go (c :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] groups
+
+let parse_exn text =
+  match parse text with Ok cs -> cs | Error e -> invalid_arg ("Case_analysis.parse: " ^ e)
+
+let resolve nl case =
+  List.map
+    (fun (name, v) ->
+      match Netlist.find nl name with
+      | Some id -> (id, v)
+      | None -> invalid_arg (Printf.sprintf "Case_analysis.resolve: unknown signal %S" name))
+    case
+
+let complete names =
+  let n = List.length names in
+  if n > 16 then invalid_arg "Case_analysis.complete: too many control signals";
+  List.init (1 lsl n) (fun bits ->
+      List.mapi
+        (fun i name -> (name, if bits land (1 lsl i) <> 0 then Tvalue.V1 else Tvalue.V0))
+        names)
+
+let pp ppf case =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (name, v) -> Format.fprintf ppf "%s = %a" name Tvalue.pp v)
+    ppf case

@@ -1,0 +1,33 @@
+(** Designer-specified case analysis (§2.7).
+
+    Reducing all possible operations of a circuit to one symbolic cycle
+    is sometimes overly pessimistic; the designer then specifies cases,
+    each mapping the [Stable] values of chosen control signals into [0]
+    or [1].  Each case is one incremental re-simulation of the affected
+    part of the circuit.
+
+    Case-specification text, one case per [';']-terminated group, with
+    [',']-separated assignments inside a group:
+    {v
+    CONTROL SIGNAL = 0;
+    CONTROL SIGNAL = 1;
+    v} *)
+
+type case = (string * Tvalue.t) list
+(** One case: signal base names and the value substituted for their
+    [Stable] states. *)
+
+val parse : string -> (case list, string) result
+(** Parse a case-specification text. *)
+
+val parse_exn : string -> case list
+
+val resolve : Netlist.t -> case -> (int * Tvalue.t) list
+(** Translate names to net ids.
+    @raise Invalid_argument if a signal does not exist. *)
+
+val complete : string list -> case list
+(** All [2^n] cases over the given control signals — exhaustive case
+    analysis over a small set of controls. *)
+
+val pp : Format.formatter -> case -> unit

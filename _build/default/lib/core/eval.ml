@@ -1,0 +1,474 @@
+type t = {
+  nl : Netlist.t;
+  queue : int Queue.t;
+  in_queue : bool array;
+  case : Tvalue.t option array;
+  mutable events : int;
+  mutable evals : int;
+  mutable converged : bool;
+  mutable initialized : bool;
+}
+
+let create nl =
+  {
+    nl;
+    queue = Queue.create ();
+    in_queue = Array.make (max 1 (Netlist.n_insts nl)) false;
+    case = Array.make (max 1 (Netlist.n_nets nl)) None;
+    events = 0;
+    evals = 0;
+    converged = true;
+    initialized = false;
+  }
+
+let netlist t = t.nl
+
+let events t = t.events
+let evaluations t = t.evals
+let converged t = t.converged
+
+let reset_counters t =
+  t.events <- 0;
+  t.evals <- 0
+
+let period t = Timebase.period (Netlist.timebase t.nl)
+
+let apply_case t id wf =
+  match t.case.(id) with
+  | None -> wf
+  | Some v ->
+    Waveform.map (fun x -> match x with Tvalue.Stable -> v | _ -> x) wf
+
+(* Initial value of a net before any driver has produced one. *)
+let initial_value t (n : Netlist.net) =
+  let base =
+    match n.n_assertion with
+    | Some a -> Assertion.to_waveform (Netlist.defaults t.nl) (Netlist.timebase t.nl) a
+    | None ->
+      if n.n_driver = None then Waveform.const ~period:(period t) Tvalue.Stable
+      else Waveform.const ~period:(period t) Tvalue.Unknown
+  in
+  apply_case t n.n_id base
+
+let enqueue t inst_id =
+  if not t.in_queue.(inst_id) then begin
+    t.in_queue.(inst_id) <- true;
+    Queue.add inst_id t.queue
+  end
+
+let enqueue_fanout t net_id =
+  List.iter (enqueue t) (Netlist.net t.nl net_id).n_fanout
+
+(* ---- directive resolution --------------------------------------------- *)
+
+(* The evaluation string for an input connection: an explicit "&..."
+   directive on the connection wins; otherwise the string carried by the
+   signal value (§2.8). *)
+let effective_directive t (inst : Netlist.inst) i =
+  let c = inst.i_inputs.(i) in
+  if c.c_directive <> [] then c.c_directive
+  else (Netlist.net t.nl c.c_net).n_eval_str
+
+let head_letter = function [] -> Directive.E | l :: _ -> l
+
+(* ---- input processing --------------------------------------------------- *)
+
+let wire_delay_of t (n : Netlist.net) =
+  match n.n_wire_delay with Some d -> d | None -> Netlist.default_wire_delay t.nl
+
+let apply_delay d wf =
+  if Delay.equal d Delay.zero then wf
+  else
+    let envelope () = Waveform.delay ~dmin:d.Delay.dmin ~dmax:d.Delay.dmax wf in
+    match Delay.rise_fall d with
+    | None -> envelope ()
+    | Some (rise, fall) -> (
+      (* Exact per-edge delays on value-known (clock) paths; the
+         conservative envelope elsewhere (§4.2.2). *)
+      match Waveform.delay_rise_fall ~rise ~fall wf with
+      | Some w -> w
+      | None -> envelope ())
+
+let input_waveform t (inst : Netlist.inst) i =
+  let c = inst.i_inputs.(i) in
+  let n = Netlist.net t.nl c.c_net in
+  let letter = head_letter (effective_directive t inst i) in
+  let wf = n.n_value in
+  let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
+  if Directive.zero_wire letter then wf else apply_delay (wire_delay_of t n) wf
+
+(* ---- primitive models --------------------------------------------------- *)
+
+let enabling_value = function
+  | Primitive.And -> Tvalue.V1
+  | Primitive.Or -> Tvalue.V0
+  | Primitive.Xor -> Tvalue.V0
+  | Primitive.Chg -> Tvalue.Stable
+
+let gate_fold fn vs =
+  match fn with
+  | Primitive.And -> List.fold_left Tvalue.land_ Tvalue.V1 vs
+  | Primitive.Or -> List.fold_left Tvalue.lor_ Tvalue.V0 vs
+  | Primitive.Xor -> List.fold_left Tvalue.lxor_ Tvalue.V0 vs
+  | Primitive.Chg -> List.fold_left Tvalue.chg Tvalue.Stable vs
+
+(* Output value of a 2-input multiplexer as a function of the three
+   input values at an instant, with a stable-but-unknown or changing
+   select treated worst-case. *)
+let mux_value a b s =
+  match s with
+  | Tvalue.V0 -> a
+  | Tvalue.V1 -> b
+  | Tvalue.Unknown -> Tvalue.Unknown
+  | Tvalue.Stable ->
+    if Tvalue.equal a b then a
+    else (
+      match a, b with
+      | Tvalue.Unknown, _ | _, Tvalue.Unknown -> Tvalue.Unknown
+      | _, _ ->
+        if Tvalue.is_stable a && Tvalue.is_stable b then Tvalue.Stable
+        else if Tvalue.is_stable a then b
+        else if Tvalue.is_stable b then a
+        else Tvalue.Change)
+  | Tvalue.Rise | Tvalue.Fall | Tvalue.Change -> (
+    match a, b with
+    | Tvalue.Unknown, _ | _, Tvalue.Unknown -> Tvalue.Unknown
+    | _, _ -> Tvalue.Change)
+
+(* Asynchronous SET/RESET overlay applied pointwise over the clocked
+   behaviour of a register or latch (§2.4.3). *)
+let set_reset_overlay out s r =
+  match s, r with
+  | Tvalue.V0, Tvalue.V0 -> out
+  | Tvalue.V1, Tvalue.V0 -> Tvalue.V1
+  | Tvalue.V0, Tvalue.V1 -> Tvalue.V0
+  | Tvalue.V1, Tvalue.V1 -> Tvalue.Unknown
+  | Tvalue.Unknown, _ | _, Tvalue.Unknown -> Tvalue.Unknown
+  | _, _ -> Tvalue.Change
+
+(* The value a register samples over a clock window, or None when the
+   data input is not a constant 0/1 throughout it. *)
+let sampled_value data_m { Waveform.w_start; w_stop } =
+  let v = Waveform.value_at data_m w_start in
+  match v with
+  | Tvalue.V0 | Tvalue.V1 ->
+    let width = w_stop - w_start in
+    if width = 0 then Some v
+    else
+      let ok =
+        Waveform.intervals_where (Tvalue.equal v) data_m
+        |> List.exists (fun (s, w) ->
+               let p = Waveform.period data_m in
+               let off = (w_start - s) mod p in
+               let off = if off < 0 then off + p else off in
+               off + width <= w)
+      in
+      if ok then Some v else None
+  | _ -> None
+
+let reg_output ~period ~delay ~data ~clock =
+  let windows = Waveform.rising_windows clock in
+  if windows = [] then
+    if
+      List.for_all
+        (fun (v, _) -> match v with Tvalue.Unknown -> true | _ -> false)
+        (Waveform.segments clock)
+    then Waveform.const ~period Tvalue.Unknown
+    else Waveform.const ~period Tvalue.Stable
+  else
+    let data_m = Waveform.materialize data in
+    let samples = List.map (sampled_value data_m) windows in
+    let base =
+      match samples with
+      | [] -> Tvalue.Stable
+      | first :: rest ->
+        if List.for_all (fun s -> s = first) rest then
+          match first with Some v -> v | None -> Tvalue.Stable
+        else Tvalue.Stable
+    in
+    let change_ivals =
+      List.map
+        (fun { Waveform.w_start; w_stop } ->
+          (w_start + delay.Delay.dmin, w_stop + delay.Delay.dmax))
+        windows
+    in
+    Waveform.of_intervals ~period ~inside:Tvalue.Change ~outside:base change_ivals
+
+(* Transparent-latch value as a function of the data and enable values
+   at an instant; the result is then delayed by the latch delay. *)
+let latch_value d e =
+  match e with
+  | Tvalue.V0 -> Tvalue.Stable
+  | Tvalue.Unknown -> Tvalue.Unknown
+  | Tvalue.V1 | Tvalue.Stable -> (
+    match d with
+    | Tvalue.Unknown -> Tvalue.Unknown
+    | Tvalue.Change | Tvalue.Rise | Tvalue.Fall -> Tvalue.Change
+    | Tvalue.V0 | Tvalue.V1 -> if Tvalue.equal e Tvalue.V1 then d else Tvalue.Stable
+    | Tvalue.Stable -> Tvalue.Stable)
+  | Tvalue.Rise | Tvalue.Change -> (
+    (* The latch may be opening: the output can change to the new data
+       value regardless of the data's stability. *)
+    match d with Tvalue.Unknown -> Tvalue.Unknown | _ -> Tvalue.Change)
+  | Tvalue.Fall -> (
+    (* The latch is closing: with stable data the captured value equals
+       the transparent value, so the output does not change. *)
+    match d with
+    | Tvalue.Unknown -> Tvalue.Unknown
+    | Tvalue.Change | Tvalue.Rise | Tvalue.Fall -> Tvalue.Change
+    | Tvalue.V0 | Tvalue.V1 | Tvalue.Stable -> Tvalue.Stable)
+
+(* Paint Change over the given windows (dilated by a delay range) on a
+   waveform -- used for output changes caused by an input transition that
+   the pointwise combination cannot see, such as a zero-width select or
+   enable edge between two Stable regions. *)
+let paint_change_windows ~period ~d windows wf =
+  if windows = [] then wf
+  else
+    let ivals =
+      List.map
+        (fun { Waveform.w_start; w_stop } -> (w_start + d.Delay.dmin, w_stop + d.Delay.dmax))
+        windows
+    in
+    let overlay =
+      Waveform.of_intervals ~period ~inside:Tvalue.Change ~outside:Tvalue.Stable ivals
+    in
+    let paint v p =
+      match p, v with
+      | Tvalue.Change, Tvalue.Unknown -> Tvalue.Unknown
+      | Tvalue.Change, _ -> Tvalue.Change
+      | _, v -> v
+    in
+    Waveform.map2 paint wf overlay
+
+(* ---- instance evaluation ------------------------------------------------ *)
+
+let eval_output t (inst : Netlist.inst) =
+  match inst.i_prim with
+  | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _
+  | Primitive.Min_pulse_width _ ->
+    None
+  | Primitive.Const v -> Some (Waveform.const ~period:(period t) v)
+  | Primitive.Buf { invert; delay } ->
+    let letter = head_letter (effective_directive t inst 0) in
+    let wf = input_waveform t inst 0 in
+    let wf = if invert then Waveform.map Tvalue.lnot wf else wf in
+    let d = if Directive.zero_gate letter then Delay.zero else delay in
+    Some (apply_delay d wf)
+  | Primitive.Gate { fn; n_inputs; invert; delay } ->
+    let letters = List.init n_inputs (fun i -> head_letter (effective_directive t inst i)) in
+    let hazard = List.exists Directive.check_hazard letters in
+    let zero_gate = List.exists Directive.zero_gate letters in
+    let wfs =
+      List.init n_inputs (fun i ->
+          let letter = List.nth letters i in
+          if hazard && not (Directive.check_hazard letter) then
+            (* &A / &H: assume the other (control) inputs enable the
+               gate, so the output follows the clock alone (§2.6). *)
+            Waveform.const ~period:(period t) (enabling_value fn)
+          else input_waveform t inst i)
+    in
+    let combined = Waveform.mapn (gate_fold fn) wfs in
+    let combined = if invert then Waveform.map Tvalue.lnot combined else combined in
+    let d = if zero_gate then Delay.zero else delay in
+    Some (apply_delay d combined)
+  | Primitive.Mux2 { delay; select_extra } ->
+    let a = input_waveform t inst 0
+    and b = input_waveform t inst 1
+    and s = input_waveform t inst 2 in
+    let s = apply_delay select_extra s in
+    let zero_gate =
+      List.exists
+        (fun i -> Directive.zero_gate (head_letter (effective_directive t inst i)))
+        [ 0; 1; 2 ]
+    in
+    let combined = Waveform.map3 mux_value a b s in
+    let d = if zero_gate then Delay.zero else delay in
+    let out = apply_delay d combined in
+    (* A select transition may change the output even when both data
+       inputs are stable (their unknown stable values can differ), so
+       paint Change over every select-transition window dilated by the
+       mux delay. *)
+    Some (paint_change_windows ~period:(period t) ~d (Waveform.change_windows s) out)
+  | Primitive.Reg { delay; has_set_reset } ->
+    let data = input_waveform t inst 0 and clock = input_waveform t inst 1 in
+    let out = reg_output ~period:(period t) ~delay ~data ~clock in
+    if not has_set_reset then Some out
+    else
+      let s = apply_delay delay (input_waveform t inst 2)
+      and r = apply_delay delay (input_waveform t inst 3) in
+      Some (Waveform.map3 set_reset_overlay out s r)
+  | Primitive.Latch { delay; has_set_reset } ->
+    let data = input_waveform t inst 0 and enable = input_waveform t inst 1 in
+    let out = apply_delay delay (Waveform.map2 latch_value data enable) in
+    (* The opening (rising-enable) edge may change the output even with
+       stable data: the held value from the previous cycle can differ
+       from the current data value.  Zero-width edges are invisible to
+       the pointwise combination, so paint them explicitly. *)
+    let out =
+      paint_change_windows ~period:(period t) ~d:delay
+        (Waveform.rising_windows enable) out
+    in
+    if not has_set_reset then Some out
+    else
+      let s = apply_delay delay (input_waveform t inst 2)
+      and r = apply_delay delay (input_waveform t inst 3) in
+      Some (Waveform.map3 set_reset_overlay out s r)
+
+(* The evaluation string passed along with the output value: the rest of
+   the first non-empty input directive (§2.8).  Only levels of gating
+   propagate it. *)
+let output_eval_str t (inst : Netlist.inst) =
+  match inst.i_prim with
+  | Primitive.Gate _ | Primitive.Buf _ | Primitive.Mux2 _ ->
+    let n = Array.length inst.i_inputs in
+    let rec find i =
+      if i >= n then []
+      else
+        match effective_directive t inst i with [] -> find (i + 1) | _ :: rest -> rest
+    in
+    find 0
+  | Primitive.Reg _ | Primitive.Latch _ | Primitive.Setup_hold_check _
+  | Primitive.Setup_rise_hold_fall_check _ | Primitive.Min_pulse_width _
+  | Primitive.Const _ ->
+    []
+
+let eval_inst t inst_id =
+  let inst = Netlist.inst t.nl inst_id in
+  t.evals <- t.evals + 1;
+  match eval_output t inst with
+  | None -> ()
+  | Some wf -> (
+    match inst.i_output with
+    | None -> ()
+    | Some out_id ->
+      let n = Netlist.net t.nl out_id in
+      let wf = apply_case t out_id wf in
+      let eval_str = output_eval_str t inst in
+      if not (Waveform.equal wf n.n_value) || eval_str <> n.n_eval_str then begin
+        n.n_value <- wf;
+        n.n_eval_str <- eval_str;
+        t.events <- t.events + 1;
+        enqueue_fanout t out_id
+      end)
+
+let fixpoint t =
+  let bound = max 10_000 (Netlist.n_insts t.nl * 200) in
+  let rec loop () =
+    if t.evals > bound then t.converged <- false
+    else
+      match Queue.take_opt t.queue with
+      | None -> ()
+      | Some id ->
+        t.in_queue.(id) <- false;
+        eval_inst t id;
+        loop ()
+  in
+  t.converged <- true;
+  loop ();
+  if not t.converged then Queue.clear t.queue
+
+let run ?(case = []) t =
+  if not t.initialized then begin
+    t.initialized <- true;
+    List.iter (fun (id, v) -> t.case.(id) <- Some v) case;
+    Netlist.iter_nets t.nl (fun n ->
+        n.n_value <- initial_value t n;
+        n.n_eval_str <- []);
+    Netlist.iter_insts t.nl (fun i -> enqueue t i.i_id)
+  end
+  else begin
+    (* Incremental case change: touch only the nets whose mapping
+       changed (§2.7). *)
+    let wanted = Array.make (Array.length t.case) None in
+    List.iter (fun (id, v) -> wanted.(id) <- Some v) case;
+    Array.iteri
+      (fun id w ->
+        if w <> t.case.(id) then begin
+          t.case.(id) <- w;
+          let n = Netlist.net t.nl id in
+          (match n.n_driver with
+          | None -> n.n_value <- initial_value t n
+          | Some d -> enqueue t d);
+          enqueue_fanout t id
+        end)
+      wanted
+  end;
+  fixpoint t
+
+let value t id = (Netlist.net t.nl id).n_value
+
+(* ---- checking ------------------------------------------------------------ *)
+
+let net_name t id = (Netlist.net t.nl id).n_name
+
+let check_inst t (inst : Netlist.inst) =
+  match inst.i_prim with
+  | Primitive.Setup_hold_check { setup; hold } ->
+    let data = input_waveform t inst 0 and ck = input_waveform t inst 1 in
+    Check.check_setup_hold ~inst:inst.i_name
+      ~signal:(net_name t inst.i_inputs.(0).c_net)
+      ~clock:(net_name t inst.i_inputs.(1).c_net)
+      ~setup ~hold ~data ~ck
+  | Primitive.Setup_rise_hold_fall_check { setup; hold } ->
+    let data = input_waveform t inst 0 and ck = input_waveform t inst 1 in
+    Check.check_setup_rise_hold_fall ~inst:inst.i_name
+      ~signal:(net_name t inst.i_inputs.(0).c_net)
+      ~clock:(net_name t inst.i_inputs.(1).c_net)
+      ~setup ~hold ~data ~ck
+  | Primitive.Min_pulse_width { high; low } ->
+    let wf = input_waveform t inst 0 in
+    Check.check_min_pulse_width ~inst:inst.i_name
+      ~signal:(net_name t inst.i_inputs.(0).c_net)
+      ~high ~low wf
+  | Primitive.Gate _ ->
+    let n = Array.length inst.i_inputs in
+    let hazard_inputs =
+      List.filter
+        (fun i -> Directive.check_hazard (head_letter (effective_directive t inst i)))
+        (List.init n (fun i -> i))
+    in
+    List.concat_map
+      (fun i ->
+        let gate_wf = input_waveform t inst i in
+        List.concat_map
+          (fun j ->
+            if j = i || Directive.check_hazard (head_letter (effective_directive t inst j))
+            then []
+            else
+              Check.check_stable_while ~inst:inst.i_name
+                ~signal:(net_name t inst.i_inputs.(j).c_net)
+                ~clock:(net_name t inst.i_inputs.(i).c_net)
+                ~gate_wf
+                (input_waveform t inst j))
+          (List.init n (fun j -> j)))
+      hazard_inputs
+  | Primitive.Buf _ | Primitive.Mux2 _ | Primitive.Reg _ | Primitive.Latch _
+  | Primitive.Const _ ->
+    []
+
+let check t =
+  let acc = ref [] in
+  Netlist.iter_insts t.nl (fun inst -> acc := check_inst t inst :: !acc);
+  Netlist.iter_nets t.nl (fun n ->
+      match n.n_assertion, n.n_driver with
+      | Some a, Some _ ->
+        acc :=
+          Check.check_stable_assertion ~signal:n.n_name ~tb:(Netlist.timebase t.nl) a
+            n.n_value
+          :: !acc
+      | (None | Some _), _ -> ());
+  let base = List.concat (List.rev !acc) in
+  if t.converged then base
+  else
+    {
+      Check.v_kind = Check.No_convergence;
+      v_inst = "EVALUATOR";
+      v_signal = "";
+      v_clock = None;
+      v_required = 0;
+      v_actual = None;
+      v_at = None;
+      v_detail = "evaluation bound exceeded; the circuit may contain unbroken feedback";
+    }
+    :: base

@@ -1,0 +1,50 @@
+(** Event-driven circuit evaluation (§2.9).
+
+    The evaluator computes, for one case, the value of every signal over
+    the clock period: signals with assertions are initialized from them,
+    undriven unasserted signals are taken to be always stable, everything
+    else starts [Unknown]; then all primitives are evaluated and any
+    whose output changed put their fanout back on the work list, until a
+    fixpoint is reached.
+
+    Case analysis is incremental: changing the case re-initializes only
+    the mapped signals and re-evaluates only the affected cone, so
+    additional cases cost time proportional to the events they cause
+    (§2.7, §3.3.2). *)
+
+type t
+
+val create : Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+val run : ?case:(int * Tvalue.t) list -> t -> unit
+(** Evaluate to a fixpoint under the given case mapping (net id to the
+    value substituted for [Stable]; an empty list clears the mapping).
+    Successive calls are incremental. *)
+
+val check : t -> Check.t list
+(** Run all checker primitives, [&A]/[&H] hazard checks and
+    stable-assertion checks against the current signal values, plus a
+    {!Check.No_convergence} report if the last {!run} hit the evaluation
+    bound. *)
+
+val value : t -> int -> Waveform.t
+(** Current waveform of a net. *)
+
+val input_waveform : t -> Netlist.inst -> int -> Waveform.t
+(** The waveform a primitive instance actually sees on input [i]: the
+    net value after complementation and interconnection delay, with
+    evaluation directives applied.  Exposed for reporting (the Figure
+    3-11 listing prints the values seen by the checker). *)
+
+val events : t -> int
+(** Number of events processed so far: an event is an output being given
+    a new value, causing its consumers to be re-evaluated (§3.3.2). *)
+
+val evaluations : t -> int
+(** Number of primitive evaluations performed so far. *)
+
+val converged : t -> bool
+
+val reset_counters : t -> unit

@@ -1,0 +1,56 @@
+(** Section-by-section (modular) verification (§2.5.2).
+
+    Stable assertions on interface signals are the key to verifying a
+    design in sections: each section assumes its inputs' assertions and
+    must prove the assertions on the signals it generates.  "If no
+    section of a design being verified has a timing error and if all of
+    the interface signals of all such sections have consistent
+    assertions on them, then the entire design must be free of timing
+    errors."
+
+    In this system an assertion is part of the signal name, so two
+    sections that spell an interface signal identically agree by
+    construction; what remains to check is that every interface signal
+    {e carries} an assertion (otherwise one section silently treats
+    another's output as always-stable), that exactly one section drives
+    it, and that the driving section's computed waveform satisfies the
+    assertion (the per-section stable-assertion check does that part). *)
+
+type section = {
+  s_name : string;
+  s_netlist : Netlist.t;
+}
+
+type issue =
+  | Unasserted_interface of { signal : string; sections : string list }
+      (** a signal shared between sections with no assertion: its
+          consumers would assume it always stable *)
+  | Multiply_driven of { signal : string; sections : string list }
+      (** more than one section generates the signal *)
+  | Undriven_interface of { signal : string; sections : string list }
+      (** an asserted interface signal that no section generates — legal
+          during design (the assertion stands in for future hardware),
+          reported so the designer tracks it *)
+
+val interface_signals : section list -> (string * string list) list
+(** Signals appearing in more than one section, with the sections using
+    them.  Keyed by full signal name (assertions included). *)
+
+val check_interfaces : section list -> issue list
+(** The cross-section consistency check SCALD runs after each section is
+    verified. *)
+
+type result = {
+  m_sections : (string * Verifier.report) list;
+  m_issues : issue list;
+  m_clean : bool;
+      (** every section verified clean and no {!Unasserted_interface} or
+          {!Multiply_driven} issues: the whole design is then free of
+          timing errors *)
+}
+
+val verify : section list -> result
+(** Verify every section independently and check the interfaces. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,182 @@
+type conn = { c_net : int; c_invert : bool; c_directive : Directive.t }
+
+type inst = {
+  i_id : int;
+  i_name : string;
+  i_prim : Primitive.t;
+  i_inputs : conn array;
+  i_output : int option;
+}
+
+type net = {
+  n_id : int;
+  n_name : string;
+  n_width : int;
+  mutable n_assertion : Assertion.t option;
+  mutable n_wire_delay : Delay.t option;
+  mutable n_driver : int option;
+  mutable n_fanout : int list;
+  mutable n_value : Waveform.t;
+  mutable n_eval_str : Directive.t;
+}
+
+type t = {
+  tb : Timebase.t;
+  asserts : Assertion.defaults;
+  default_wire : Delay.t;
+  mutable nets : net array;
+  mutable n_nets : int;
+  mutable insts : inst array;
+  mutable n_insts : int;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create ?(defaults = Assertion.s1_defaults) ?(default_wire_delay = Delay.of_ns 0.0 2.0) tb =
+  {
+    tb;
+    asserts = defaults;
+    default_wire = default_wire_delay;
+    nets = [||];
+    n_nets = 0;
+    insts = [||];
+    n_insts = 0;
+    by_name = Hashtbl.create 64;
+  }
+
+let timebase t = t.tb
+let defaults t = t.asserts
+let default_wire_delay t = t.default_wire
+
+let grow arr n dummy = if n < Array.length arr then arr else
+  Array.append arr (Array.make (max 16 (Array.length arr)) dummy)
+
+let dummy_net tb =
+  {
+    n_id = -1;
+    n_name = "";
+    n_width = 1;
+    n_assertion = None;
+    n_wire_delay = None;
+    n_driver = None;
+    n_fanout = [];
+    n_value = Waveform.const ~period:(Timebase.period tb) Tvalue.Unknown;
+    n_eval_str = [];
+  }
+
+let add_net t ~name ~width ~assertion =
+  t.nets <- grow t.nets t.n_nets (dummy_net t.tb);
+  let id = t.n_nets in
+  let n =
+    {
+      n_id = id;
+      n_name = name;
+      n_width = width;
+      n_assertion = assertion;
+      n_wire_delay = None;
+      n_driver = None;
+      n_fanout = [];
+      n_value = Waveform.const ~period:(Timebase.period t.tb) Tvalue.Unknown;
+      n_eval_str = [];
+    }
+  in
+  t.nets.(id) <- n;
+  t.n_nets <- t.n_nets + 1;
+  Hashtbl.replace t.by_name name id;
+  id
+
+let signal_parsed t (sn : Signal_name.t) =
+  let key = Signal_name.key sn in
+  match Hashtbl.find_opt t.by_name key with
+  | Some id ->
+    let n = t.nets.(id) in
+    (match n.n_assertion, sn.assertion with
+    | _, None -> ()
+    | None, Some a -> n.n_assertion <- Some a
+    | Some a, Some b ->
+      if not (Assertion.equal a b) then
+        invalid_arg
+          (Printf.sprintf "Netlist.signal: inconsistent assertions on %s: .%s vs .%s" key
+             (Assertion.to_string a) (Assertion.to_string b)));
+    id
+  | None -> add_net t ~name:key ~width:(Signal_name.width sn) ~assertion:sn.assertion
+
+let signal t name =
+  let sn = Signal_name.parse_exn name in
+  signal_parsed t sn
+
+let conn ?(invert = false) ?(directive = []) net_id =
+  { c_net = net_id; c_invert = invert; c_directive = directive }
+
+let signal_conn t ?(directive = []) name =
+  let sn = Signal_name.parse_exn name in
+  let id = signal_parsed t sn in
+  conn ~invert:sn.complemented ~directive id
+
+let set_wire_delay t id d = t.nets.(id).n_wire_delay <- Some d
+
+let set_width t id width =
+  let n = t.nets.(id) in
+  t.nets.(id) <- { n with n_width = width }
+
+let dummy_inst =
+  { i_id = -1; i_name = ""; i_prim = Primitive.Buf { invert = false; delay = Delay.zero };
+    i_inputs = [||]; i_output = None }
+
+let add t ?name prim ~inputs ~output =
+  let expected = Primitive.n_inputs prim in
+  if List.length inputs <> expected then
+    invalid_arg
+      (Printf.sprintf "Netlist.add: %s expects %d inputs, got %d" (Primitive.mnemonic prim)
+         expected (List.length inputs));
+  (match output, Primitive.has_output prim with
+  | Some _, false -> invalid_arg "Netlist.add: checker primitives have no output"
+  | None, true -> invalid_arg "Netlist.add: primitive requires an output net"
+  | Some _, true | None, false -> ());
+  t.insts <- grow t.insts t.n_insts dummy_inst;
+  let id = t.n_insts in
+  let name = match name with Some n -> n | None -> Printf.sprintf "%s#%d" (Primitive.mnemonic prim) id in
+  let i =
+    { i_id = id; i_name = name; i_prim = prim; i_inputs = Array.of_list inputs; i_output = output }
+  in
+  (match output with
+  | None -> ()
+  | Some o ->
+    let n = t.nets.(o) in
+    (match n.n_driver with
+    | Some other ->
+      invalid_arg
+        (Printf.sprintf "Netlist.add: net %s already driven by %s" n.n_name
+           t.insts.(other).i_name)
+    | None -> n.n_driver <- Some id));
+  List.iter
+    (fun c ->
+      let n = t.nets.(c.c_net) in
+      if not (List.mem id n.n_fanout) then n.n_fanout <- id :: n.n_fanout)
+    inputs;
+  t.insts.(id) <- i;
+  t.n_insts <- t.n_insts + 1;
+  i
+
+let net t id = t.nets.(id)
+let inst t id = t.insts.(id)
+let find t name = Hashtbl.find_opt t.by_name name
+let nets t = Array.sub t.nets 0 t.n_nets
+let insts t = Array.sub t.insts 0 t.n_insts
+let n_nets t = t.n_nets
+let n_insts t = t.n_insts
+
+let iter_nets t f =
+  for i = 0 to t.n_nets - 1 do
+    f t.nets.(i)
+  done
+
+let iter_insts t f =
+  for i = 0 to t.n_insts - 1 do
+    f t.insts.(i)
+  done
+
+let undriven_unasserted t =
+  let acc = ref [] in
+  iter_nets t (fun n ->
+      if n.n_driver = None && n.n_assertion = None then acc := n :: !acc);
+  List.rev !acc

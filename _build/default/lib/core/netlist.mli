@@ -1,0 +1,100 @@
+(** Circuit representation for the Timing Verifier.
+
+    A netlist is a set of {e nets} (signals, possibly vectors — one net
+    stands for an arbitrarily wide data path) and {e instances} of the
+    built-in primitives connected to them.  Nets carry the designer
+    assertions parsed from their signal names, optional per-signal
+    interconnection-delay overrides (§2.5.3), and — during evaluation —
+    their current waveform and remaining evaluation string (§2.8). *)
+
+type conn = {
+  c_net : int;
+  c_invert : bool;  (** the ["-"] complement prefix on the connection *)
+  c_directive : Directive.t;  (** explicit ["&..."] evaluation string *)
+}
+
+type inst = {
+  i_id : int;
+  i_name : string;
+  i_prim : Primitive.t;
+  i_inputs : conn array;
+  i_output : int option;  (** net id; [None] for checkers *)
+}
+
+type net = {
+  n_id : int;
+  n_name : string;
+  n_width : int;
+  mutable n_assertion : Assertion.t option;
+  mutable n_wire_delay : Delay.t option;
+      (** overrides the default interconnection delay when set *)
+  mutable n_driver : int option;
+  mutable n_fanout : int list;
+  mutable n_value : Waveform.t;
+  mutable n_eval_str : Directive.t;
+      (** evaluation string carried by the signal value, consumed one
+          letter per level of gating (§2.8) *)
+}
+
+type t
+
+val create :
+  ?defaults:Assertion.defaults ->
+  ?default_wire_delay:Delay.t ->
+  Timebase.t ->
+  t
+(** A new empty netlist.  [default_wire_delay] defaults to 0.0/2.0 ns,
+    the rule used for the S-1 Mark IIA (§3.3); [defaults] to
+    {!Assertion.s1_defaults}. *)
+
+val timebase : t -> Timebase.t
+val defaults : t -> Assertion.defaults
+val default_wire_delay : t -> Delay.t
+
+val signal : t -> string -> int
+(** [signal t name] returns the net for a full SCALD signal name such as
+    ["WRITE .S0-6 L"], creating it if needed.  The assertion, if any, is
+    recorded on the net; the net is keyed by the base name, so all
+    spellings of one signal share one net.
+
+    @raise Invalid_argument if the name is malformed, or if it carries an
+    assertion inconsistent with one previously recorded for the same
+    signal — the SCALD system guarantees assertion consistency by
+    construction (§2.5.1), so we enforce it here. *)
+
+val signal_conn : t -> ?directive:Directive.t -> string -> conn
+(** Like {!signal} but returns a connection, honouring a leading ["-"]
+    complement in the name. *)
+
+val conn : ?invert:bool -> ?directive:Directive.t -> int -> conn
+
+val set_wire_delay : t -> int -> Delay.t -> unit
+(** Designer-specified interconnection delay range for a net (§2.5.3). *)
+
+val set_width : t -> int -> int -> unit
+(** Record the bit width of a net (used by the storage statistics). *)
+
+val add : t -> ?name:string -> Primitive.t -> inputs:conn list -> output:int option -> inst
+(** Instantiate a primitive.
+
+    @raise Invalid_argument if the input count does not match the
+    primitive, if a checker is given an output, if a non-checker lacks
+    one, or if the output net already has a driver. *)
+
+val net : t -> int -> net
+val inst : t -> int -> inst
+val find : t -> string -> int option
+(** Look up a net by base name. *)
+
+val nets : t -> net array
+val insts : t -> inst array
+val n_nets : t -> int
+val n_insts : t -> int
+
+val iter_nets : t -> (net -> unit) -> unit
+val iter_insts : t -> (inst -> unit) -> unit
+
+val undriven_unasserted : t -> net list
+(** Nets with neither a driver nor an assertion.  The verifier treats
+    them as always stable and puts them on a special cross-reference
+    listing for the designer's attention (§2.5). *)

@@ -1,0 +1,21 @@
+(** ASCII timing diagrams.
+
+    A quick visual rendering of the evaluated waveforms over one clock
+    period — the pictorial counterpart of the Figure 3-10 listing.
+    Value marks:
+
+    {v
+    _  definitely 0          =  stable (value unknown)
+    ^  definitely 1          x  possibly changing
+    /  rising                ?  undefined
+    \  falling               *  several values within one column
+    v} *)
+
+val pp_waveform : ?columns:int -> Format.formatter -> Waveform.t -> unit
+(** One signal as a row of marks ([columns] defaults to 64).  The
+    waveform is materialized first, so skew appears as [/], [\] or [x]
+    regions. *)
+
+val pp : ?columns:int -> ?signals:string list -> Format.formatter -> Eval.t -> unit
+(** A full diagram: a time ruler in ns, then one labelled row per net
+    (or per requested signal), sorted by name. *)

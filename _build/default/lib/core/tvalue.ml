@@ -1,0 +1,126 @@
+type t = V0 | V1 | Stable | Change | Rise | Fall | Unknown
+
+let equal a b =
+  match a, b with
+  | V0, V0 | V1, V1 | Stable, Stable | Change, Change | Rise, Rise
+  | Fall, Fall | Unknown, Unknown ->
+    true
+  | (V0 | V1 | Stable | Change | Rise | Fall | Unknown), _ -> false
+
+let rank = function
+  | V0 -> 0
+  | V1 -> 1
+  | Stable -> 2
+  | Change -> 3
+  | Rise -> 4
+  | Fall -> 5
+  | Unknown -> 6
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_char = function
+  | V0 -> '0'
+  | V1 -> '1'
+  | Stable -> 'S'
+  | Change -> 'C'
+  | Rise -> 'R'
+  | Fall -> 'F'
+  | Unknown -> 'U'
+
+let of_char c =
+  match Char.uppercase_ascii c with
+  | '0' -> Some V0
+  | '1' -> Some V1
+  | 'S' -> Some Stable
+  | 'C' -> Some Change
+  | 'R' -> Some Rise
+  | 'F' -> Some Fall
+  | 'U' -> Some Unknown
+  | _ -> None
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)
+
+let all = [ V0; V1; Stable; Change; Rise; Fall; Unknown ]
+
+let is_stable = function
+  | V0 | V1 | Stable -> true
+  | Change | Rise | Fall | Unknown -> false
+
+let is_changing = function
+  | Change | Rise | Fall -> true
+  | V0 | V1 | Stable | Unknown -> false
+
+let is_defined = function Unknown -> false | V0 | V1 | Stable | Change | Rise | Fall -> true
+
+let lnot = function
+  | V0 -> V1
+  | V1 -> V0
+  | Stable -> Stable
+  | Change -> Change
+  | Rise -> Fall
+  | Fall -> Rise
+  | Unknown -> Unknown
+
+(* Worst-case OR: V1 dominates even over Unknown; V0 is the identity.
+   Combining a definite edge with a stable value keeps the edge (the
+   worst case); combining two distinct edge behaviours degrades to
+   Change, whose value behaviour is unconstrained. *)
+let lor_ a b =
+  match a, b with
+  | V1, _ | _, V1 -> V1
+  | V0, x | x, V0 -> x
+  | Unknown, _ | _, Unknown -> Unknown
+  | Stable, x | x, Stable -> x
+  | Rise, Rise -> Rise
+  | Fall, Fall -> Fall
+  | Change, (Change | Rise | Fall) | (Rise | Fall), Change -> Change
+  | Rise, Fall | Fall, Rise -> Change
+
+let land_ a b =
+  match a, b with
+  | V0, _ | _, V0 -> V0
+  | V1, x | x, V1 -> x
+  | Unknown, _ | _, Unknown -> Unknown
+  | Stable, x | x, Stable -> x
+  | Rise, Rise -> Rise
+  | Fall, Fall -> Fall
+  | Change, (Change | Rise | Fall) | (Rise | Fall), Change -> Change
+  | Rise, Fall | Fall, Rise -> Change
+
+(* XOR has no dominant value, so Unknown always propagates.  A changing
+   input whose old/new values are unknown makes the output Change, except
+   that a definite edge XORed with a constant is the edge (possibly
+   complemented). *)
+let lxor_ a b =
+  match a, b with
+  | Unknown, _ | _, Unknown -> Unknown
+  | V0, x | x, V0 -> x
+  | V1, x | x, V1 -> lnot x
+  | Stable, Stable -> Stable
+  | Stable, (Change | Rise | Fall) | (Change | Rise | Fall), Stable -> Change
+  | (Change | Rise | Fall), (Change | Rise | Fall) -> Change
+
+let chg a b =
+  match a, b with
+  | Unknown, _ | _, Unknown -> Unknown
+  | (Change | Rise | Fall), _ | _, (Change | Rise | Fall) -> Change
+  | (V0 | V1 | Stable), (V0 | V1 | Stable) -> Stable
+
+let chg1 = function
+  | Unknown -> Unknown
+  | Change | Rise | Fall -> Change
+  | V0 | V1 | Stable -> Stable
+
+let merge_uncertain a b =
+  if equal a b then a
+  else
+    match a, b with
+    | Unknown, _ | _, Unknown -> Unknown
+    | _, _ -> Change
+
+let worst_edge ~before ~after =
+  match before, after with
+  | V0, V1 -> Rise
+  | V1, V0 -> Fall
+  | Unknown, _ | _, Unknown -> Unknown
+  | _, _ -> Change

@@ -1,0 +1,75 @@
+(** The seven-value system used to represent signals (§2.4.1).
+
+    At any instant every signal has exactly one of seven values.  The
+    combinational functions over these values are uniformly defined to
+    give {e worst-case} results (§2.4.2): e.g. [Stable OR Rise = Rise]
+    because the output is either stable or a rising edge, and the rising
+    edge is the worst case. *)
+
+type t =
+  | V0      (** false, or 0 *)
+  | V1      (** true, or 1 *)
+  | Stable  (** signal is stable, not changing *)
+  | Change  (** signal may be changing *)
+  | Rise    (** signal is going from zero to one *)
+  | Fall    (** signal is going from one to zero *)
+  | Unknown (** initial value used for all signals *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_char : t -> char
+(** One-letter code as in the thesis: ['0' '1' 'S' 'C' 'R' 'F' 'U']. *)
+
+val of_char : char -> t option
+(** Inverse of {!to_char} (case-insensitive). *)
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** All seven values, for exhaustive property tests. *)
+
+val is_stable : t -> bool
+(** [true] for [V0], [V1] and [Stable]: the signal is definitely not
+    changing at this instant.  This is the predicate used by the set-up,
+    hold and stable-assertion checkers. *)
+
+val is_changing : t -> bool
+(** [true] for [Change], [Rise] and [Fall]. *)
+
+val is_defined : t -> bool
+(** [false] only for [Unknown]. *)
+
+val lnot : t -> t
+(** Logical complement: swaps [V0]/[V1] and [Rise]/[Fall]. *)
+
+val lor_ : t -> t -> t
+(** Worst-case INCLUSIVE-OR.  [V1] is dominant. *)
+
+val land_ : t -> t -> t
+(** Worst-case AND.  [V0] is dominant. *)
+
+val lxor_ : t -> t -> t
+(** Worst-case EXCLUSIVE-OR.  Has no dominant value, so [Unknown]
+    propagates from either input. *)
+
+val chg : t -> t -> t
+(** The CHANGE function used to model complex combinational logic
+    (parity trees, adders) whose actual function is irrelevant to the
+    verification: [Unknown] if any input is undefined, else [Change] if
+    any input is changing, else [Stable]. *)
+
+val chg1 : t -> t
+(** Unary CHANGE. *)
+
+val merge_uncertain : t -> t -> t
+(** Combine two possible values of one signal over an uncertainty window
+    (used when skew windows overlap while folding skew into the value
+    list, §2.8): [Unknown] absorbs, equal values stay, anything else
+    becomes [Change]. *)
+
+val worst_edge : before:t -> after:t -> t
+(** The value painted over a transition window when skew is folded into
+    the signal representation: [V0 -> V1] gives [Rise], [V1 -> V0] gives
+    [Fall], transitions involving [Unknown] give [Unknown], everything
+    else gives [Change]. *)

@@ -1,0 +1,22 @@
+(** Value Change Dump (VCD) export.
+
+    Writes the evaluated waveforms of one clock period in the standard
+    VCD format, so they can be inspected in any waveform viewer.  The
+    seven-value system maps onto the four VCD scalar states:
+
+    {v
+    0 -> 0          STABLE  -> z   (steady, value unknown)
+    1 -> 1          CHANGE, RISE, FALL, UNKNOWN -> x
+    v}
+
+    Each net is exported as a 1-bit wire (the Timing Verifier's vector
+    symmetry means all bits of a path share one waveform); the net's
+    declared width is recorded in the wire name as [name[w]]. *)
+
+val export : Eval.t -> Buffer.t -> unit
+(** Append the dump for the current evaluation state. *)
+
+val to_string : Eval.t -> string
+
+val write_file : Eval.t -> string -> unit
+(** @raise Sys_error on I/O failure. *)

@@ -1,0 +1,79 @@
+type case_result = {
+  cr_case : Case_analysis.case;
+  cr_violations : Check.t list;
+  cr_events : int;
+  cr_evaluations : int;
+}
+
+type report = {
+  r_cases : case_result list;
+  r_events : int;
+  r_evaluations : int;
+  r_violations : Check.t list;
+  r_converged : bool;
+  r_unasserted : string list;
+  r_eval : Eval.t;
+}
+
+let dedup_violations vs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (v : Check.t) ->
+      let key =
+        Format.asprintf "%s/%s/%s/%d/%s" (Check.kind_name v.v_kind) v.v_inst v.v_signal
+          v.v_required
+          (match v.v_at with None -> "-" | Some t -> string_of_int t)
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    vs
+
+let verify ?(cases = []) nl =
+  let ev = Eval.create nl in
+  let run_case case =
+    let before_events = Eval.events ev and before_evals = Eval.evaluations ev in
+    Eval.run ~case:(Case_analysis.resolve nl case) ev;
+    let violations = Eval.check ev in
+    {
+      cr_case = case;
+      cr_violations = violations;
+      cr_events = Eval.events ev - before_events;
+      cr_evaluations = Eval.evaluations ev - before_evals;
+    }
+  in
+  let case_list = match cases with [] -> [ [] ] | cs -> cs in
+  let results = List.map run_case case_list in
+  let all = List.concat_map (fun r -> r.cr_violations) results in
+  {
+    r_cases = results;
+    r_events = Eval.events ev;
+    r_evaluations = Eval.evaluations ev;
+    r_violations = dedup_violations all;
+    r_converged = Eval.converged ev;
+    r_unasserted =
+      List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
+    r_eval = ev;
+  }
+
+let clean r = r.r_violations = []
+
+let violations_of_kind kind r =
+  List.filter (fun (v : Check.t) -> v.v_kind = kind) r.r_violations
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>TIMING VERIFICATION REPORT@,";
+  Format.fprintf ppf "cases evaluated: %d   events: %d   evaluations: %d%s@,"
+    (List.length r.r_cases) r.r_events r.r_evaluations
+    (if r.r_converged then "" else "   (DID NOT CONVERGE)");
+  List.iteri
+    (fun i c ->
+      Format.fprintf ppf "case %d [%a]: %d events, %d violations@," (i + 1) Case_analysis.pp
+        c.cr_case c.cr_events
+        (List.length c.cr_violations))
+    r.r_cases;
+  Format.fprintf ppf "%a@," Report.pp_violations r.r_violations;
+  Report.pp_cross_reference ppf (Eval.netlist r.r_eval);
+  Format.fprintf ppf "@]"

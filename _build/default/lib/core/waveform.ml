@@ -1,0 +1,513 @@
+type t = {
+  period : Timebase.ps;
+  segs : (Tvalue.t * Timebase.ps) list;
+  early : Timebase.ps; (* <= 0 *)
+  late : Timebase.ps; (* >= 0 *)
+}
+
+let period w = w.period
+
+let skew w = (w.early, w.late)
+
+let segments w = w.segs
+
+let wrap p x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+(* ---- normalized construction ---------------------------------------- *)
+
+let merge_adjacent segs =
+  let rec go = function
+    | (v1, w1) :: (v2, w2) :: rest when Tvalue.equal v1 v2 -> go ((v1, w1 + w2) :: rest)
+    | s :: rest -> s :: go rest
+    | [] -> []
+  in
+  go segs
+
+let create ~period segs =
+  if period <= 0 then invalid_arg "Waveform.create: period must be positive";
+  List.iter
+    (fun (_, w) -> if w <= 0 then invalid_arg "Waveform.create: segment width must be positive")
+    segs;
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 segs in
+  if total <> period then
+    invalid_arg
+      (Printf.sprintf "Waveform.create: segment widths sum to %d, period is %d" total period);
+  { period; segs = merge_adjacent segs; early = 0; late = 0 }
+
+let const ~period v = create ~period [ (v, period) ]
+
+let with_skew ~early ~late w =
+  if early > 0 || late < 0 then invalid_arg "Waveform.with_skew: need early <= 0 <= late";
+  { w with early; late }
+
+let equal a b =
+  a.period = b.period && a.early = b.early && a.late = b.late
+  && List.length a.segs = List.length b.segs
+  && List.for_all2 (fun (v1, w1) (v2, w2) -> Tvalue.equal v1 v2 && w1 = w2) a.segs b.segs
+
+(* ---- pieces: absolute [start, stop) covering [0, period) ------------- *)
+
+type piece = { p_start : Timebase.ps; p_stop : Timebase.ps; p_val : Tvalue.t }
+
+let pieces_of w =
+  let _, rev =
+    List.fold_left
+      (fun (t, acc) (v, width) ->
+        (t + width, { p_start = t; p_stop = t + width; p_val = v } :: acc))
+      (0, []) w.segs
+  in
+  List.rev rev
+
+let of_pieces ~period ~early ~late pieces =
+  let segs =
+    List.filter_map
+      (fun p ->
+        let width = p.p_stop - p.p_start in
+        if width <= 0 then None else Some (p.p_val, width))
+      pieces
+  in
+  let segs = merge_adjacent segs in
+  { period; segs; early; late }
+
+let value_at w t =
+  let t = wrap w.period t in
+  let rec go at = function
+    | [] -> assert false
+    | (v, width) :: rest -> if t < at + width then v else go (at + width) rest
+  in
+  go 0 w.segs
+
+(* ---- modular intervals ----------------------------------------------- *)
+
+(* An interval is (start, width) with start in [0, period), 0 <= width <=
+   period.  [covers] tests membership of an instant. *)
+
+let iv_covers p (s, width) x =
+  if width >= p then true else wrap p (x - s) < width
+
+let iv_intersect p (s1, w1) (s2, w2) =
+  if w1 = 0 || w2 = 0 then false
+  else if w1 >= p || w2 >= p then true
+  else wrap p (s2 - s1) < w1 || wrap p (s1 - s2) < w2
+
+(* ---- sweep construction ---------------------------------------------- *)
+
+(* Build a waveform by sampling a value function on the elementary
+   regions delimited by a list of breakpoints. *)
+let of_breakpoints ~period bps value_of =
+  let bps = List.map (wrap period) bps in
+  let bps = List.sort_uniq Int.compare (0 :: bps) in
+  let rec regions = function
+    | [] -> []
+    | [ last ] -> [ (last, period) ]
+    | a :: (b :: _ as rest) -> (a, b) :: regions rest
+  in
+  let pieces =
+    List.map (fun (a, b) -> { p_start = a; p_stop = b; p_val = value_of a }) (regions bps)
+  in
+  of_pieces ~period ~early:0 ~late:0 pieces
+
+let of_intervals ~period ~inside ~outside ivals =
+  (* (start, stop): stop < start wraps; stop = start is empty. *)
+  let norm (s, e) =
+    let width =
+      let d = e - s in
+      if d = 0 then 0 else if d < 0 then d + period else min d period
+    in
+    (wrap period s, width)
+  in
+  let ivals = List.filter (fun (_, w) -> w > 0) (List.map norm ivals) in
+  if ivals = [] then const ~period outside
+  else
+    let bps = List.concat_map (fun (s, w) -> [ s; s + w ]) ivals in
+    of_breakpoints ~period bps (fun x ->
+        if List.exists (fun iv -> iv_covers period iv x) ivals then inside else outside)
+
+(* ---- rotation and delay ---------------------------------------------- *)
+
+let rotate w d =
+  let d = wrap w.period d in
+  if d = 0 then w
+  else
+    let shifted =
+      List.concat_map
+        (fun p ->
+          let s = p.p_start + d and e = p.p_stop + d in
+          if e <= w.period then [ { p with p_start = s; p_stop = e } ]
+          else if s >= w.period then
+            [ { p with p_start = s - w.period; p_stop = e - w.period } ]
+          else
+            [ { p with p_start = s; p_stop = w.period };
+              { p with p_start = 0; p_stop = e - w.period } ])
+        (pieces_of w)
+    in
+    let sorted = List.sort (fun a b -> Int.compare a.p_start b.p_start) shifted in
+    of_pieces ~period:w.period ~early:w.early ~late:w.late sorted
+
+let delay ~dmin ~dmax w =
+  if dmin < 0 || dmax < dmin then invalid_arg "Waveform.delay: need 0 <= dmin <= dmax";
+  let w = rotate w dmin in
+  { w with late = w.late + (dmax - dmin) }
+
+(* ---- transitions ------------------------------------------------------ *)
+
+(* Circular transition list: (time, before, after). *)
+let transitions w =
+  match pieces_of w with
+  | [] | [ _ ] -> []
+  | first :: _ as pieces ->
+    let rec pairs prev = function
+      | [] -> []
+      | p :: rest -> (p.p_start, prev.p_val, p.p_val) :: pairs p rest
+    in
+    let last = List.nth pieces (List.length pieces - 1) in
+    let inner = match pieces with [] -> [] | p :: rest -> pairs p rest in
+    if Tvalue.equal last.p_val first.p_val then inner
+    else (0, last.p_val, first.p_val) :: inner
+
+(* ---- materialization --------------------------------------------------- *)
+
+let materialize w =
+  if w.early = 0 && w.late = 0 then w
+  else
+    let trans = transitions w in
+    if trans = [] then { w with early = 0; late = 0 }
+    else
+      let p = w.period in
+      let win_width = w.late - w.early in
+      if win_width >= p then
+        (* Uncertainty covers the whole cycle: every instant may be in
+           some transition window. *)
+        let v =
+          List.fold_left
+            (fun acc (_, before, after) ->
+              Tvalue.merge_uncertain acc (Tvalue.worst_edge ~before ~after))
+            (let _, before, after = List.hd trans in
+             Tvalue.worst_edge ~before ~after)
+            (List.tl trans)
+        in
+        const ~period:p v
+      else
+        let windows =
+          List.map
+            (fun (t, before, after) ->
+              ((wrap p (t + w.early), win_width), Tvalue.worst_edge ~before ~after))
+            trans
+        in
+        let bps =
+          List.concat_map (fun ((s, width), _) -> [ s; s + width ]) windows
+          @ List.map (fun pc -> pc.p_start) (pieces_of w)
+        in
+        let value_of x =
+          let covering =
+            List.filter_map
+              (fun (iv, v) -> if iv_covers p iv x then Some v else None)
+              windows
+          in
+          match covering with
+          | [] -> value_at w x
+          | v :: rest -> List.fold_left Tvalue.merge_uncertain v rest
+        in
+        of_breakpoints ~period:p bps value_of
+
+(* ---- pointwise maps ---------------------------------------------------- *)
+
+let map f w =
+  let segs = merge_adjacent (List.map (fun (v, width) -> (f v, width)) w.segs) in
+  { w with segs }
+
+let is_const w = match w.segs with [ _ ] -> true | _ -> false
+
+let check_periods ws =
+  match ws with
+  | [] -> invalid_arg "Waveform: empty input list"
+  | w :: rest ->
+    List.iter
+      (fun w' -> if w'.period <> w.period then invalid_arg "Waveform: period mismatch")
+      rest;
+    w.period
+
+let mapn f ws =
+  let p = check_periods ws in
+  (* If all inputs but (at most) one are constant, the combination cannot
+     fold skews together, so the varying input's skew is preserved — this
+     is what keeps pulse widths intact through gated clocks whose other
+     inputs are stable (§2.8). *)
+  let varying = List.filter (fun w -> not (is_const w)) ws in
+  match varying with
+  | [] -> const ~period:p (f (List.map (fun w -> List.hd w.segs |> fst) ws))
+  | [ v ] ->
+    let g x =
+      f (List.map (fun w -> if w == v then x else List.hd w.segs |> fst) ws)
+    in
+    map g v
+  | _ ->
+    let ms = List.map materialize ws in
+    let bps = List.concat_map (fun m -> List.map (fun pc -> pc.p_start) (pieces_of m)) ms in
+    of_breakpoints ~period:p bps (fun x -> f (List.map (fun m -> value_at m x) ms))
+
+let map2 f a b =
+  mapn (function [ x; y ] -> f x y | _ -> assert false) [ a; b ]
+
+let map3 f a b c =
+  mapn (function [ x; y; z ] -> f x y z | _ -> assert false) [ a; b; c ]
+
+(* ---- windows and stability -------------------------------------------- *)
+
+type window = { w_start : Timebase.ps; w_stop : Timebase.ps }
+
+(* Circular pieces: like [pieces_of] on the materialized waveform but
+   with the wrap-spanning segment (equal first/last values) merged into a
+   single piece whose stop exceeds the period. *)
+let circular_pieces m =
+  match pieces_of m with
+  | [] -> []
+  | [ p ] -> [ p ]
+  | first :: _ as pieces ->
+    let n = List.length pieces in
+    let last = List.nth pieces (n - 1) in
+    if Tvalue.equal first.p_val last.p_val then
+      let merged =
+        { p_start = last.p_start; p_stop = first.p_stop + m.period; p_val = first.p_val }
+      in
+      (match List.filteri (fun i _ -> i > 0 && i < n - 1) pieces with
+      | [] -> [ merged ]
+      | middle -> middle @ [ merged ])
+    else pieces
+
+let edge_windows ~from_v ~to_v m =
+  let m = materialize m in
+  let pieces = circular_pieces m in
+  let n = List.length pieces in
+  if n <= 1 then []
+  else
+    let arr = Array.of_list pieces in
+    let get i = arr.((i + n) mod n) in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let p = arr.(i) in
+      let prev = get (i - 1) and next = get (i + 1) in
+      (match p.p_val with
+      | Tvalue.Rise when Tvalue.equal from_v Tvalue.V0 && Tvalue.equal to_v Tvalue.V1 ->
+        out := { w_start = p.p_start; w_stop = p.p_stop } :: !out
+      | Tvalue.Fall when Tvalue.equal from_v Tvalue.V1 && Tvalue.equal to_v Tvalue.V0 ->
+        out := { w_start = p.p_start; w_stop = p.p_stop } :: !out
+      | Tvalue.Change | Tvalue.Unknown ->
+        if Tvalue.equal prev.p_val from_v && Tvalue.equal next.p_val to_v then
+          out := { w_start = p.p_start; w_stop = p.p_stop } :: !out
+      | Tvalue.V0 | Tvalue.V1 | Tvalue.Stable | Tvalue.Rise | Tvalue.Fall -> ());
+      (* Instantaneous from_v -> to_v boundary. *)
+      if Tvalue.equal p.p_val from_v && Tvalue.equal next.p_val to_v then
+        let t = wrap m.period p.p_stop in
+        out := { w_start = t; w_stop = t } :: !out
+    done;
+    List.sort (fun a b -> Int.compare a.w_start b.w_start) !out
+
+let rising_windows m = edge_windows ~from_v:Tvalue.V0 ~to_v:Tvalue.V1 m
+
+let falling_windows m = edge_windows ~from_v:Tvalue.V1 ~to_v:Tvalue.V0 m
+
+let change_windows w =
+  let m = materialize w in
+  let pieces = circular_pieces m in
+  let n = List.length pieces in
+  if n <= 1 then []
+  else
+    let arr = Array.of_list pieces in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let p = arr.(i) in
+      let next = arr.((i + 1) mod n) in
+      if Tvalue.is_changing p.p_val then
+        out := { w_start = p.p_start; w_stop = p.p_stop } :: !out
+      else if
+        Tvalue.is_stable p.p_val && Tvalue.is_stable next.p_val
+        && not (Tvalue.equal p.p_val next.p_val)
+      then
+        let t = wrap m.period p.p_stop in
+        out := { w_start = t; w_stop = t } :: !out
+    done;
+    List.sort (fun a b -> Int.compare a.w_start b.w_start) !out
+
+let runs_where pred ~period pieces =
+  (* Group consecutive satisfying pieces into runs of (start, stop). *)
+  let runs =
+    List.fold_left
+      (fun runs p ->
+        if not (pred p.p_val) then runs
+        else
+          match runs with
+          | (s, e) :: rest when e = p.p_start -> (s, p.p_stop) :: rest
+          | _ -> (p.p_start, p.p_stop) :: runs)
+      [] pieces
+    |> List.rev
+  in
+  match runs with
+  | [] -> []
+  | [ (0, e) ] when e = period -> [ (0, period) ]
+  | (0, e0) :: _ ->
+    (* A run touching time 0 joins a run ending at the period (wrap). *)
+    let last_s, last_e = List.nth runs (List.length runs - 1) in
+    if last_e = period && List.length runs > 1 then
+      let middle = List.filteri (fun i _ -> i > 0 && i < List.length runs - 1) runs in
+      let joined = (last_s, last_e + e0) in
+      List.map (fun (s, e) -> (s, e - s)) (middle @ [ joined ])
+    else List.map (fun (s, e) -> (s, e - s)) runs
+  | _ -> List.map (fun (s, e) -> (s, e - s)) runs
+
+let intervals_where pred w =
+  let m = materialize w in
+  runs_where pred ~period:m.period (pieces_of m)
+
+let delay_rise_fall ~rise:(rmin, rmax) ~fall:(fmin, fmax) w =
+  if rmin < 0 || rmax < rmin || fmin < 0 || fmax < fmin then
+    invalid_arg "Waveform.delay_rise_fall: bad delay ranges";
+  let m = materialize w in
+  let value_known =
+    List.for_all
+      (fun (v, _) ->
+        match v with
+        | Tvalue.V0 | Tvalue.V1 | Tvalue.Rise | Tvalue.Fall -> true
+        | Tvalue.Stable | Tvalue.Change | Tvalue.Unknown -> false)
+      m.segs
+  in
+  (* The per-edge reconstruction assumes a coherent signal: every Rise
+     window sits between a 0 and a 1, every Fall window between a 1 and
+     a 0.  Degenerate patterns (e.g. a Rise returning to 0) fall back to
+     the conservative envelope. *)
+  let coherent =
+    let pieces = circular_pieces m in
+    let n = List.length pieces in
+    n <= 1
+    ||
+    let arr = Array.of_list pieces in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let prev = arr.((i + n - 1) mod n) and next = arr.((i + 1) mod n) in
+      (match arr.(i).p_val with
+      | Tvalue.Rise ->
+        if not (Tvalue.equal prev.p_val Tvalue.V0 && Tvalue.equal next.p_val Tvalue.V1)
+        then ok := false
+      | Tvalue.Fall ->
+        if not (Tvalue.equal prev.p_val Tvalue.V1 && Tvalue.equal next.p_val Tvalue.V0)
+        then ok := false
+      | Tvalue.V0 | Tvalue.V1 | Tvalue.Stable | Tvalue.Change | Tvalue.Unknown -> ())
+    done;
+    !ok
+  in
+  if not (value_known && coherent) then None
+  else
+    let p = m.period in
+    let rising = rising_windows m and falling = falling_windows m in
+    if rising = [] && falling = [] then Some m
+    else
+      (* Each transition window moves by its own edge delay; between
+         windows the level is the post-value of the nearest preceding
+         window.  Overlapping windows merge to Change. *)
+      let windows =
+        List.map
+          (fun { w_start; w_stop } ->
+            (wrap p (w_start + rmin), w_stop - w_start + (rmax - rmin), Tvalue.Rise,
+             Tvalue.V1))
+          rising
+        @ List.map
+            (fun { w_start; w_stop } ->
+              (wrap p (w_start + fmin), w_stop - w_start + (fmax - fmin), Tvalue.Fall,
+               Tvalue.V0))
+            falling
+      in
+      (* The delayed windows must preserve the source's transition
+         ordering: for every source-consecutive pair of edges
+         (circularly, including the wrap), the earlier edge must finish
+         its delayed window before the later edge's begins.  A slow fall
+         completing after the next cycle's fast rise violates this, and
+         the exact reconstruction below would be wrong — fall back to
+         the conservative envelope instead. *)
+      let ordered =
+        let tagged =
+          List.map (fun w -> (w, rmin, rmax)) rising
+          @ List.map (fun w -> (w, fmin, fmax)) falling
+        in
+        let in_source_order =
+          List.sort
+            (fun ({ w_start = a; _ }, _, _) ({ w_start = b; _ }, _, _) ->
+              Int.compare a b)
+            tagged
+        in
+        let rec pairs_ok = function
+          | ({ w_stop = e1; _ }, _, dmax1) :: (({ w_start = s2; _ }, dmin2, _) :: _ as rest)
+            ->
+            e1 + dmax1 <= s2 + dmin2 && pairs_ok rest
+          | [ _ ] | [] -> true
+        in
+        match in_source_order with
+        | [] | [ _ ] -> pairs_ok in_source_order
+        | ({ w_start = s0; _ }, dmin0, _) :: _ ->
+          let { w_stop = el; _ }, _, dmaxl =
+            List.nth in_source_order (List.length in_source_order - 1)
+          in
+          pairs_ok in_source_order && el + dmaxl <= s0 + p + dmin0
+      in
+      if not ordered then None
+      else
+        let bps = List.concat_map (fun (s, width, _, _) -> [ s; s + width ]) windows in
+        let value_of x =
+          let covering =
+            List.filter_map
+              (fun (s, width, v, _) -> if iv_covers p (s, width) x then Some v else None)
+              windows
+          in
+          match covering with
+          | v :: rest -> List.fold_left Tvalue.merge_uncertain v rest
+          | [] ->
+            (* level after the nearest window ending before x; sound
+               because the windows are disjoint and in source order *)
+            let best =
+              List.fold_left
+                (fun acc (s, width, _, post) ->
+                  let stop = wrap p (s + width) in
+                  let d = wrap p (x - stop) in
+                  match acc with
+                  | Some (bd, _) when bd <= d -> acc
+                  | _ -> Some (d, post))
+                None windows
+            in
+            (match best with Some (_, post) -> post | None -> Tvalue.V0)
+        in
+        Some (of_breakpoints ~period:p bps value_of)
+
+let pulse_intervals v w =
+  runs_where (Tvalue.equal v) ~period:w.period (pieces_of w)
+
+let stable_everywhere w =
+  let m = materialize w in
+  List.for_all (fun (v, _) -> Tvalue.is_stable v) m.segs
+
+let stable_over w ~start ~width =
+  if width <= 0 then true
+  else if width >= w.period then stable_everywhere w
+  else
+    let unstable = intervals_where (fun v -> not (Tvalue.is_stable v)) w in
+    let target = (wrap w.period start, width) in
+    not (List.exists (fun iv -> iv_intersect w.period iv target) unstable)
+
+let stable_interval_around w t =
+  let t = wrap w.period t in
+  let stable = intervals_where Tvalue.is_stable w in
+  List.find_opt (fun iv -> iv_covers w.period iv t) stable
+
+(* ---- printing ---------------------------------------------------------- *)
+
+let pp ppf w =
+  let rec go at = function
+    | [] -> ()
+    | (v, width) :: rest ->
+      if at > 0 then Format.pp_print_string ppf "  ";
+      Format.fprintf ppf "%a %a" Tvalue.pp v Timebase.pp_ns at;
+      go (at + width) rest
+  in
+  go 0 w.segs;
+  if w.early <> 0 || w.late <> 0 then
+    Format.fprintf ppf "  (skew %a/+%a)" Timebase.pp_ns w.early Timebase.pp_ns w.late

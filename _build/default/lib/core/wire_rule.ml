@@ -1,0 +1,26 @@
+type t = { base : Delay.t; per_load : Delay.t }
+
+let flat base = { base; per_load = Delay.zero }
+
+let s1_default = flat (Delay.of_ns 0.0 2.0)
+
+let loaded ~base ~per_load = { base; per_load }
+
+let delay_for rule ~fanout =
+  let extra = max 0 (fanout - 1) in
+  let rec add n acc = if n = 0 then acc else add (n - 1) (Delay.add acc rule.per_load) in
+  add extra rule.base
+
+let apply nl rule =
+  let count = ref 0 in
+  Netlist.iter_nets nl (fun n ->
+      match n.Netlist.n_wire_delay with
+      | Some _ -> ()
+      | None ->
+        Netlist.set_wire_delay nl n.Netlist.n_id
+          (delay_for rule ~fanout:(List.length n.Netlist.n_fanout));
+        incr count);
+  !count
+
+let pp ppf rule =
+  Format.fprintf ppf "%a + %a per extra load" Delay.pp rule.base Delay.pp rule.per_load

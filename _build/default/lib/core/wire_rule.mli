@@ -1,0 +1,36 @@
+(** Interconnection-delay rules (§2.5.3, §3.3).
+
+    Until the physical design exists, interconnection delays come from a
+    designer rule.  The S-1 Mark IIA used a flat 0.0/2.0 ns default;
+    the thesis notes that "refined rules for future designs could take
+    into account the number of loads on a run, and the size of the
+    different loads", with the caveat that a rule must stay easy for the
+    designer to apply by hand.  This module is that refinement: a base
+    range plus an increment per load beyond the first.
+
+    Applying a rule fills in every net that carries no explicit
+    designer-specified wire delay; explicit delays (including the zero
+    delays of chip-internal and de-skewed clock nets) are never
+    overridden. *)
+
+type t = {
+  base : Delay.t;      (** delay of a minimal run with one load *)
+  per_load : Delay.t;  (** added for each additional load *)
+}
+
+val flat : Delay.t -> t
+(** The thesis's rule: the same range regardless of loading. *)
+
+val s1_default : t
+(** [flat (0.0/2.0 ns)] — the S-1 Mark IIA design rule. *)
+
+val loaded : base:Delay.t -> per_load:Delay.t -> t
+
+val delay_for : t -> fanout:int -> Delay.t
+(** The rule evaluated for a run with the given number of loads. *)
+
+val apply : Netlist.t -> t -> int
+(** Set the wire delay of every net that has none, from its fanout
+    count.  Returns the number of nets set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netgen/netgen.ml: Array Buffer List Printf Rng Scald_sdl String

@@ -1,0 +1,1 @@
+lib/netgen/netgen.mli: Rng Scald_sdl

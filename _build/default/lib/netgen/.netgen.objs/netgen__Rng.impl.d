@@ -1,0 +1,1 @@
+lib/netgen/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/netgen/rng.mli:

@@ -1,0 +1,269 @@
+module Rng = Rng
+
+type config = {
+  seed : int;
+  chips : int;
+  stages : int;
+  levels : int;
+  broken_registers : int;
+}
+
+let default_config =
+  { seed = 1; chips = 6357; stages = 16; levels = 4; broken_registers = 0 }
+
+let scaled ?(seed = 1) ?(broken_registers = 0) ~chips () =
+  { seed; chips; stages = max 2 (chips / 400); levels = 4; broken_registers }
+
+type design = { d_chips : int; d_sdl : string }
+
+let n_chips d = d.d_chips
+let to_sdl d = d.d_sdl
+
+(* ---- fixed macro library ---------------------------------------------------- *)
+
+let gate_kinds =
+  (* (macro name, primitive head, n inputs, min/max delay ns) *)
+  [|
+    ("OR2 CHIP", "2 OR", 2, (1.0, 2.9));
+    ("OR3 CHIP", "3 OR", 3, (1.0, 3.1));
+    ("OR4 CHIP", "4 OR", 4, (1.1, 3.3));
+    ("OR5 CHIP", "5 OR", 5, (1.2, 3.5));
+    ("AND2 CHIP", "2 AND", 2, (1.0, 2.9));
+    ("AND3 CHIP", "3 AND", 3, (1.0, 3.1));
+    ("AND4 CHIP", "4 AND", 4, (1.1, 3.3));
+    ("XOR2 CHIP", "2 XOR", 2, (1.5, 3.5));
+    ("CHG1 CHIP", "1 CHG", 1, (1.5, 3.0));
+    ("CHG2 CHIP", "2 CHG", 2, (2.0, 4.0));
+    ("CHG3 CHIP", "3 CHG", 3, (2.5, 4.5));
+    ("CHG4 CHIP", "4 CHG", 4, (3.0, 4.9));
+    ("BUF CHIP", "BUF", 1, (1.0, 2.9));
+    ("NOT CHIP", "NOT", 1, (1.0, 2.9));
+  |]
+
+let macro_library buf =
+  let add = Buffer.add_string buf in
+  Array.iter
+    (fun (mname, head, n, (dmin, dmax)) ->
+      let params = List.init n (fun i -> Printf.sprintf "A%d /P" i) in
+      add
+        (Printf.sprintf "MACRO %s;\nPARAMETER %s, Q /P;\nBODY\n  %s (DELAY=%g/%g) (%s) -> Q /P;\nEND;\n\n"
+           mname
+           (String.concat ", " params)
+           head dmin dmax
+           (String.concat ", " params)))
+    gate_kinds;
+  add
+    "MACRO MUX CHIP;\nPARAMETER A /P, B /P, S /P, Q /P;\nBODY\n\
+    \  2 MUX (DELAY=1.2/3.3, SELDELAY=0.3/1.2) (A /P, B /P, S /P) -> Q /P;\nEND;\n\n";
+  add
+    "MACRO REG CHIP;\nPARAMETER I /P, CK /P, Q /P;\nBODY\n\
+    \  REG (DELAY=1.5/4.5) (I /P, CK /P) -> Q /P;\n\
+    \  SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (I /P, CK /P);\nEND;\n\n";
+  add
+    "MACRO REG RS CHIP;\nPARAMETER I /P, CK /P, S /P, R /P, Q /P;\nBODY\n\
+    \  REG RS (DELAY=1.5/4.5) (I /P, CK /P, S /P, R /P) -> Q /P;\n\
+    \  SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (I /P, CK /P);\nEND;\n\n";
+  add
+    "MACRO LATCH CHIP;\nPARAMETER I /P, E /P, Q /P;\nBODY\n\
+    \  LATCH (DELAY=1.0/3.5) (I /P, E /P) -> Q /P;\n\
+    \  SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (I /P, - E /P);\nEND;\n\n";
+  add
+    "MACRO LATCH RS CHIP;\nPARAMETER I /P, E /P, S /P, R /P, Q /P;\nBODY\n\
+    \  LATCH RS (DELAY=1.0/3.5) (I /P, E /P, S /P, R /P) -> Q /P;\n\
+    \  SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (I /P, - E /P);\nEND;\n\n";
+  add
+    "MACRO CORR CHIP;\nPARAMETER I /P, Q /P;\nBODY\n\
+    \  BUF (DELAY=4.0/4.0) (I /P) -> Q /P;\nEND;\n\n";
+  add
+    "MACRO SLOW CHIP;\nPARAMETER I /P, Q /P;\nBODY\n\
+    \  BUF (DELAY=38.0/42.0) (I /P) -> Q /P;\nEND;\n\n";
+  add
+    "MACRO RAM CHIP;\nPARAMETER I /P, A /P, CS /P, WE /P, DO /P;\nBODY\n\
+    \  3 CHG (DELAY=3.0/6.0) (A /P, CS /P, WE /P) -> RP /M;\n\
+    \  1 CHG (DELAY=1.5/3.0) (RP /M) -> DO /P;\n\
+    \  SETUP HOLD CHK (SETUP=4.5, HOLD=-1.0) (I /P, - WE /P);\n\
+    \  SETUP HOLD CHK (SETUP=3.5, HOLD=1.0) (CS /P, - WE /P);\n\
+    \  SETUP RISE HOLD FALL CHK (SETUP=3.5, HOLD=1.0) (A /P, WE /P);\n\
+    \  MIN PULSE WIDTH (WIDTH=4.0/0.0) (WE /P);\nEND;\n\n";
+  add
+    "MACRO WE GATE CHIP;\nPARAMETER CK /P, EN /P, WE /P;\nBODY\n\
+    \  2 AND (DELAY=1.0/2.9) (CK /P &H, EN /P) -> WE /P;\nEND;\n\n"
+
+(* ---- width distribution (mean ~= 6.5 bits, §3.3.2) ----------------------------- *)
+
+let draw_width rng =
+  Rng.weighted rng
+    [ (38, 1); (12, 2); (12, 4); (14, 8); (14, 16); (5, 32); (5, 36) ]
+
+(* ---- signals --------------------------------------------------------------------- *)
+
+(* A pool entry: (name with subscript, width, combinational depth). *)
+type sig_entry = { s_name : string; s_width : int; s_depth : int }
+
+let vec name width = if width = 1 then name else Printf.sprintf "%s<0:%d>" name (width - 1)
+
+(* ---- generation -------------------------------------------------------------------- *)
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  let buf = Buffer.create (cfg.chips * 64) in
+  let add = Buffer.add_string buf in
+  let chips = ref 0 in
+  add "-- synthetic pipelined design (netgen)\n";
+  add "PERIOD 50.0;\nCLOCK UNIT 6.25;\nDEFAULT WIRE DELAY 0.0/2.0;\n\n";
+  macro_library buf;
+  (* Global clocks and controls; clock runs are de-skewed, so their
+     listed wire delay is zero. *)
+  add "WIRE DELAY (CK MAIN .P7-8) = 0.0/0.0;\n";
+  add "WIRE DELAY (CK WE .P2-3) = 0.0/0.0;\n";
+  add "WIRE DELAY (LE .P3-4) = 0.0/0.0;\n";
+  add "ZERO () -> GND;\n\n";
+  let chips_per_stage = max 8 (cfg.chips / cfg.stages) in
+  (* Stage chip mix chosen so that primitives/chips ~= 1.3 (§3.3.2):
+     every register is followed by a CORR delay chip. *)
+  let regs_per_stage = max 2 (27 * chips_per_stage / 100) in
+  let latches_per_stage = max 1 (2 * chips_per_stage / 100) in
+  let rams_per_stage = if chips_per_stage >= 200 then 1 else 0 in
+  let gates_per_stage =
+    max 2
+      (chips_per_stage - (2 * regs_per_stage) - latches_per_stage - (2 * rams_per_stage))
+  in
+  (* Primary inputs: stable through the hold window of the first rank of
+     registers (changing only 47.5..50 ns). *)
+  let primary =
+    List.init (max 4 (regs_per_stage / 2)) (fun i ->
+        let width = draw_width rng in
+        let name = Printf.sprintf "IN %d" i in
+        add (Printf.sprintf "WIDTH (%s .S0-7.6) = %d;\n" (vec name width) width);
+        { s_name = vec name width ^ " .S0-7.6"; s_width = width; s_depth = 0 })
+  in
+  add "\n";
+  let broken_left = ref cfg.broken_registers in
+  let stmts = ref [] in
+  let pool = ref primary in
+  for stage = 0 to cfg.stages - 1 do
+    let pool_arr = Array.of_list !pool in
+    let shallow =
+      match List.filter (fun s -> s.s_depth = 0) !pool with
+      | [] -> pool_arr
+      | l -> Array.of_list l
+    in
+    add (Printf.sprintf "-- stage %d\n" stage);
+    let add = fun line -> stmts := line :: !stmts in
+    (* Combinational cloud. *)
+    let cloud = ref [] in
+    let all_here () =
+      let extra = Array.of_list !cloud in
+      Array.append pool_arr extra
+    in
+    for g = 0 to gates_per_stage - 1 do
+      let is_mux = Rng.bool rng 0.08 in
+      if is_mux then begin
+        let a = Rng.choose rng (all_here ()) in
+        let b = Rng.choose rng (all_here ()) in
+        let s = Rng.choose rng (all_here ()) in
+        let depth = 1 + max a.s_depth (max b.s_depth s.s_depth) in
+        if depth <= cfg.levels then begin
+          let name = vec (Printf.sprintf "P%d M%d" stage g) a.s_width in
+          add
+            (Printf.sprintf "MUX CHIP (%s, %s, %s) -> %s;\n" a.s_name b.s_name s.s_name
+               name);
+          incr chips;
+          cloud := { s_name = name; s_width = a.s_width; s_depth = depth } :: !cloud
+        end
+      end
+      else begin
+        let mname, _, n, _ = Rng.choose rng gate_kinds in
+        let ins = List.init n (fun _ -> Rng.choose rng (all_here ())) in
+        let depth = 1 + List.fold_left (fun acc s -> max acc s.s_depth) 0 ins in
+        if depth <= cfg.levels then begin
+          let width = (List.hd ins).s_width in
+          let name = vec (Printf.sprintf "P%d G%d" stage g) width in
+          add
+            (Printf.sprintf "%s (%s) -> %s;\n" mname
+               (String.concat ", " (List.map (fun s -> s.s_name) ins))
+               name);
+          incr chips;
+          cloud := { s_name = name; s_width = width; s_depth = depth } :: !cloud
+        end
+      end
+    done;
+    (* Register file with a gated write enable. *)
+    let ram_outs = ref [] in
+    for r = 0 to rams_per_stage - 1 do
+      let we = Printf.sprintf "P%d WE%d" stage r in
+      add (Printf.sprintf "WE GATE CHIP (CK WE .P2-3, WE EN .S0-8) -> %s;\n" we);
+      let data = Rng.choose rng shallow in
+      let adr = Rng.choose rng shallow in
+      let cs = Rng.choose rng shallow in
+      let out = vec (Printf.sprintf "P%d RAM%d" stage r) data.s_width in
+      add
+        (Printf.sprintf "RAM CHIP (%s, %s, %s, %s) -> %s;\n" data.s_name adr.s_name
+           cs.s_name we out);
+      chips := !chips + 2;
+      ram_outs :=
+        { s_name = out; s_width = data.s_width; s_depth = max 0 (cfg.levels - 2) }
+        :: !ram_outs
+    done;
+    (* Latches: shallow data so they satisfy their closing-edge checks. *)
+    let latch_outs = ref [] in
+    for l = 0 to latches_per_stage - 1 do
+      let data = Rng.choose rng shallow in
+      let out = vec (Printf.sprintf "P%d L%d" stage l) data.s_width in
+      let rs = Rng.bool rng 0.25 in
+      if rs then
+        add
+          (Printf.sprintf "LATCH RS CHIP (%s, LE .P3-4, GND, GND) -> %s;\n" data.s_name
+             out)
+      else add (Printf.sprintf "LATCH CHIP (%s, LE .P3-4) -> %s;\n" data.s_name out);
+      incr chips;
+      latch_outs :=
+        { s_name = out; s_width = data.s_width; s_depth = max 0 (cfg.levels - 1) }
+        :: !latch_outs
+    done;
+    (* Stage registers + CORR minimum-delay chips; their outputs form
+       the next stage's depth-0 pool. *)
+    let sources = Array.concat [ all_here (); Array.of_list !ram_outs; Array.of_list !latch_outs ] in
+    let next_pool = ref [] in
+    for r = 0 to regs_per_stage - 1 do
+      let src = Rng.choose rng sources in
+      let data =
+        if !broken_left > 0 && stage > 0 then begin
+          (* Inject a genuine set-up violation via a slow path. *)
+          decr broken_left;
+          let slow = vec (Printf.sprintf "P%d SLOW%d" stage r) src.s_width in
+          add (Printf.sprintf "SLOW CHIP (%s) -> %s;\n" src.s_name slow);
+          incr chips;
+          slow
+        end
+        else src.s_name
+      in
+      let q = vec (Printf.sprintf "P%d R%d" stage r) src.s_width in
+      let rs = Rng.bool rng 0.12 in
+      if rs then add (Printf.sprintf "REG RS CHIP (%s, CK MAIN .P7-8, GND, GND) -> %s;\n" data q)
+      else add (Printf.sprintf "REG CHIP (%s, CK MAIN .P7-8) -> %s;\n" data q);
+      let d = vec (Printf.sprintf "P%d N%d" (stage + 1) r) src.s_width in
+      add (Printf.sprintf "CORR CHIP (%s) -> %s;\n" q d);
+      chips := !chips + 2;
+      next_pool := { s_name = d; s_width = src.s_width; s_depth = 0 } :: !next_pool
+    done;
+    pool := !next_pool
+  done;
+  (* Emit the chip statements in globally shuffled order: the real
+     design database is not topologically sorted, and the initial
+     work-list order determines how many relaxation passes (events per
+     primitive) the verifier needs -- the thesis measured 2.4. *)
+  let arr = Array.of_list !stmts in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.iter (Buffer.add_string buf) arr;
+  { d_chips = !chips; d_sdl = Buffer.contents buf }
+
+let to_netlist d =
+  match Scald_sdl.Expander.load d.d_sdl with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Netgen.to_netlist: generator bug: " ^ msg)

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64: fast, well distributed, trivially seedable. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t p = float_of_int (int t 1_000_000) /. 1_000_000. < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: non-positive total weight";
+  let pick = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: empty list"
+    | (w, x) :: rest -> if pick < acc + w then x else go (acc + w) rest
+  in
+  go 0 choices

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and tests need reproducible synthetic designs, so all
+    randomness in {!Netgen} flows from one of these seeded generators —
+    never from the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded from an integer. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [\[0, n)].  @raise Invalid_argument
+    if [n <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice.  @raise Invalid_argument on an empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Choice weighted by the integer weights.  @raise Invalid_argument on
+    an empty list or non-positive total weight. *)

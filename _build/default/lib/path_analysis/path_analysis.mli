@@ -1,0 +1,98 @@
+(** Worst-case path searching (§1.4.2) — the GRASP / Race Analysis
+    System class of timing checker the thesis compares against.
+
+    Starting and terminating points are determined by the location of
+    registers and latches (as in RAS) or given by hand (as in GRASP);
+    the system searches every combinational path between them, summing
+    minimum and maximum element delays, and reports paths outside the
+    designer's limits.
+
+    Its fundamental limitation (§4.1): it cannot take the value
+    behaviour of control signals into account, so circuits whose timing
+    is value-dependent — e.g. the complementary-select multiplexers of
+    Figure 2-6 — produce spurious long paths and irrelevant error
+    messages that the Timing Verifier's case analysis avoids. *)
+
+open Scald_core
+
+type path = {
+  p_from : string;  (** source net *)
+  p_to : string;    (** sink net *)
+  p_min : Timebase.ps;
+  p_max : Timebase.ps;
+  p_through : string list;  (** instance names along the witness path *)
+}
+
+type report = {
+  r_paths : path list;  (** aggregated per (source, sink): extreme
+                            delays with a witness for the max *)
+  r_sources : int;
+  r_sinks : int;
+  r_loops_cut : int;  (** feedback loops hit the search limit and were
+                          cut, as GRASP requires the user to do *)
+}
+
+type full_path = {
+  f_from : string;
+  f_to : string;
+  f_delays : Delay.t list;  (** every wire+element delay along the path,
+                                in traversal order *)
+  f_through : string list;
+}
+
+val enumerate :
+  ?sources:int list -> ?sinks:int list -> ?limit:int -> Netlist.t -> full_path list
+(** Every individual combinational path (not aggregated per endpoint
+    pair), with its component delays — the input to probability-based
+    analysis (§4.2.4).  At most [limit] paths (default 10 000) are
+    returned. *)
+
+val analyze : ?sources:int list -> ?sinks:int list -> Netlist.t -> report
+(** Search all paths.  Default sources are register/latch outputs and
+    asserted or undriven primary inputs; default sinks are the data
+    inputs of registers, latches and checkers. *)
+
+val worst : report -> path option
+(** The path with the largest maximum delay. *)
+
+val violations : report -> max_delay:Timebase.ps -> path list
+(** Paths whose maximum delay exceeds the designer's limit — including
+    any spurious ones through never-sensitized logic. *)
+
+val pp_path : Format.formatter -> path -> unit
+val pp : Format.formatter -> report -> unit
+
+(** Automatic detection of the clock-skew correlation problem (§4.2.3).
+
+    The Timing Verifier reasons in absolute times, so a register
+    reloaded from its own output through a short path looks like a hold
+    violation whenever the clock skew exceeds the feedback path's
+    minimum delay — a {e false} error, because the clock edge and the
+    output change move together.  The thesis's workaround is a designer-
+    inserted [CORR] fictitious delay at least as long as the skew, and
+    notes that an automatic method would be preferable.  This module is
+    that method: it finds every same-clock register-to-register path
+    whose minimum delay is less than the destination's clock uncertainty
+    plus hold time, and computes the CORR delay that suppresses the
+    false error. *)
+module Corr : sig
+  type advice = {
+    a_register : string;    (** destination register/latch instance *)
+    a_data_net : string;    (** its data input net *)
+    a_source : string;      (** the same-clock source register *)
+    a_min_path : Timebase.ps;      (** minimum feedback-path delay *)
+    a_clock_spread : Timebase.ps;  (** clock-edge uncertainty at the pin *)
+    a_hold : Timebase.ps;          (** hold requirement found on the pin *)
+    a_required_delay : Timebase.ps;
+        (** the CORR delay to insert: [clock_spread + hold - min_path] *)
+  }
+
+  val advise : Netlist.t -> advice list
+  (** All register/latch data inputs that need a CORR delay. *)
+
+  val clock_spread : Netlist.t -> int -> Timebase.ps
+  (** Edge uncertainty of a clock net: assertion skew plus the delay
+      spreads accumulated through its buffer/gate chain. *)
+
+  val pp_advice : Format.formatter -> advice -> unit
+end

@@ -1,0 +1,214 @@
+open Scald_core
+
+type placement = By_id | By_connectivity
+
+type config = {
+  placement : placement;
+  pitch_cm : float;
+  board_cols : int;
+  velocity_cm_per_ns : float;
+  intrinsic : Delay.t;
+  detour : float;
+  z0_ohm : float;
+  z_load_ohm : float;
+  rise_time_ns : float;
+  reflection_limit : float;
+}
+
+let default_config =
+  {
+    placement = By_connectivity;
+    pitch_cm = 2.0;
+    board_cols = 32;
+    velocity_cm_per_ns = 15.0;
+    intrinsic = Delay.of_ns 0.2 0.5;
+    detour = 1.8;
+    z0_ohm = 50.0;
+    z_load_ohm = 100.0;
+    rise_time_ns = 2.0;
+    reflection_limit = 0.25;
+  }
+
+type route = {
+  r_net : string;
+  r_length_cm : float;
+  r_fanout : int;
+  r_delay : Delay.t;
+  r_needs_line_analysis : bool;
+  r_reflection : float;
+  r_edge_sensitive : bool;
+  r_flagged : bool;
+}
+
+type report = {
+  p_routes : route list;
+  p_flagged : route list;
+  p_total_wire_cm : float;
+  p_applied : int;
+}
+
+(* Slot assignment: either creation order, or a breadth-first walk of
+   the driver-to-consumer graph so that connected logic clusters. *)
+let slots cfg nl =
+  let n = Netlist.n_insts nl in
+  let slot = Array.make (max 1 n) (-1) in
+  (match cfg.placement with
+  | By_id -> Array.iteri (fun i _ -> slot.(i) <- i) slot
+  | By_connectivity ->
+    let next = ref 0 in
+    let q = Queue.create () in
+    let place i =
+      if i < n && slot.(i) < 0 then begin
+        slot.(i) <- !next;
+        incr next;
+        Queue.add i q
+      end
+    in
+    for seed = 0 to n - 1 do
+      place seed;
+      while not (Queue.is_empty q) do
+        let i = Queue.pop q in
+        let inst = Netlist.inst nl i in
+        (* neighbours: consumers of my output, drivers of my inputs *)
+        (match inst.Netlist.i_output with
+        | Some o -> List.iter place (Netlist.net nl o).Netlist.n_fanout
+        | None -> ());
+        Array.iter
+          (fun (c : Netlist.conn) ->
+            match (Netlist.net nl c.Netlist.c_net).Netlist.n_driver with
+            | Some d -> place d
+            | None -> ())
+          inst.Netlist.i_inputs
+      done
+    done);
+  slot
+
+let position cfg slot_id =
+  let col = slot_id mod cfg.board_cols and row = slot_id / cfg.board_cols in
+  (float_of_int col *. cfg.pitch_cm, float_of_int row *. cfg.pitch_cm)
+
+(* A pin of a net feeds an edge-sensitive input when it is the clock of
+   a register, the enable of a latch, or the CK input of a checker. *)
+let edge_sensitive_pin (inst : Netlist.inst) input_index =
+  match inst.Netlist.i_prim with
+  | Primitive.Reg _ | Primitive.Latch _ -> input_index = 1
+  | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _ ->
+    input_index = 1
+  | Primitive.Min_pulse_width _ -> true
+  | Primitive.Gate _ | Primitive.Buf _ | Primitive.Mux2 _ | Primitive.Const _ -> false
+
+let route_of_net cfg nl slot (n : Netlist.net) =
+  (* pins: the driver instance and each consumer *)
+  let pin_insts =
+    (match n.Netlist.n_driver with Some d -> [ d ] | None -> []) @ n.Netlist.n_fanout
+  in
+  let positions = List.map (fun i -> position cfg slot.(i)) pin_insts in
+  let length =
+    match positions with
+    | [] | [ _ ] -> 0.
+    | (x0, y0) :: rest ->
+      (* half-perimeter wirelength of the pin bounding box *)
+      let xmin, xmax, ymin, ymax =
+        List.fold_left
+          (fun (a, b, c, d) (x, y) -> (min a x, max b x, min c y, max d y))
+          (x0, x0, y0, y0) rest
+      in
+      xmax -. xmin +. (ymax -. ymin)
+  in
+  let fanout = List.length n.Netlist.n_fanout in
+  let prop_min_ns = length /. cfg.velocity_cm_per_ns in
+  let prop_max_ns = cfg.detour *. prop_min_ns in
+  let delay =
+    Delay.add cfg.intrinsic
+      (Delay.of_ns prop_min_ns prop_max_ns)
+  in
+  let needs_line = prop_max_ns > cfg.rise_time_ns /. 4. in
+  (* receivers in parallel pull the termination impedance down *)
+  let z_load = cfg.z_load_ohm /. float_of_int (max 1 fanout) in
+  let reflection = Float.abs ((z_load -. cfg.z0_ohm) /. (z_load +. cfg.z0_ohm)) in
+  let edge_sensitive =
+    List.exists
+      (fun inst_id ->
+        let inst = Netlist.inst nl inst_id in
+        let found = ref false in
+        Array.iteri
+          (fun i (c : Netlist.conn) ->
+            if c.Netlist.c_net = n.Netlist.n_id && edge_sensitive_pin inst i then
+              found := true)
+          inst.Netlist.i_inputs;
+        !found)
+      n.Netlist.n_fanout
+  in
+  {
+    r_net = n.Netlist.n_name;
+    r_length_cm = length;
+    r_fanout = fanout;
+    r_delay = delay;
+    r_needs_line_analysis = needs_line;
+    r_reflection = reflection;
+    r_edge_sensitive = edge_sensitive;
+    r_flagged = needs_line && edge_sensitive && reflection > cfg.reflection_limit;
+  }
+
+let place_and_route ?(config = default_config) nl =
+  let slot = slots config nl in
+  let routes = ref [] in
+  Netlist.iter_nets nl (fun n -> routes := route_of_net config nl slot n :: !routes);
+  let routes = List.rev !routes in
+  {
+    p_routes = routes;
+    p_flagged = List.filter (fun r -> r.r_flagged) routes;
+    p_total_wire_cm = List.fold_left (fun acc r -> acc +. r.r_length_cm) 0. routes;
+    p_applied = 0;
+  }
+
+let apply ?(config = default_config) nl =
+  let report = place_and_route ~config nl in
+  let applied = ref 0 in
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace by_name r.r_net r) report.p_routes;
+  Netlist.iter_nets nl (fun n ->
+      match n.Netlist.n_wire_delay with
+      | Some _ -> ()
+      | None -> (
+        match Hashtbl.find_opt by_name n.Netlist.n_name with
+        | Some r ->
+          Netlist.set_wire_delay nl n.Netlist.n_id r.r_delay;
+          incr applied
+        | None -> ()));
+  { report with p_applied = !applied }
+
+let violations report =
+  List.map
+    (fun r ->
+      {
+        Check.v_kind = Check.Reflection_hazard;
+        v_inst = "PHYSICAL DESIGN";
+        v_signal = r.r_net;
+        v_clock = None;
+        v_required = 0;
+        v_actual = None;
+        v_at = None;
+        v_detail =
+          Printf.sprintf
+            "%.1f cm run, %d loads, reflection coefficient %.2f on an edge-sensitive input"
+            r.r_length_cm r.r_fanout r.r_reflection;
+      })
+    report.p_flagged
+
+let pp ppf report =
+  Format.fprintf ppf "@[<v>PHYSICAL DESIGN: %d runs, %.1f cm of wire, %d computed delays applied@,"
+    (List.length report.p_routes) report.p_total_wire_cm report.p_applied;
+  let long =
+    List.filter (fun r -> r.r_needs_line_analysis) report.p_routes |> List.length
+  in
+  Format.fprintf ppf "runs needing transmission-line analysis: %d@," long;
+  Format.fprintf ppf "flagged (reflections on edge-sensitive inputs): %d@,"
+    (List.length report.p_flagged);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  %-28s %5.1f cm, %d loads, delay %a ns, reflection %.2f  ** FLAGGED **@,"
+        r.r_net r.r_length_cm r.r_fanout Delay.pp r.r_delay r.r_reflection)
+    report.p_flagged;
+  Format.fprintf ppf "@]"

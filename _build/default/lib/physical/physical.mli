@@ -1,0 +1,89 @@
+(** A simplified SCALD Physical Design Subsystem.
+
+    The thesis consumes interconnection delays from two sources: a
+    designer default rule while the design is on paper, and — once the
+    design is far enough along — delays "calculated from detailed
+    simulation of the transmission line properties of the
+    interconnections in the circuit-as-packaged" (§2.5.3), computed by
+    the SCALD Physical Design Subsystem.  That subsystem also flags
+    signal runs with voltage-wave reflections large enough to cause
+    extra clock transitions, "allowing the timing verification process
+    to flag them if they affect edge-sensitive inputs" (§1.3.2).
+
+    This module is a compact version of that flow:
+
+    - {b placement}: chips on a board grid, in instance order;
+    - {b routing estimate}: half-perimeter wirelength of each net's
+      pins, with a detour factor bounding the maximum route;
+    - {b delay}: intrinsic driver/receiver delay plus propagation at the
+      configured velocity — the computed delays then {e replace} the
+      default rule on every net without a designer override;
+    - {b transmission-line screen}: runs whose propagation time exceeds
+      a quarter of the signal rise time need full line analysis
+      (§1.3.2's criterion); their worst reflection coefficient is
+      estimated from the line and termination impedances (receivers in
+      parallel), and runs with significant reflections feeding
+      edge-sensitive inputs (register and latch clocks, checker clock
+      pins) are flagged. *)
+
+open Scald_core
+
+type placement =
+  | By_id  (** instances in creation order — a deliberately naive layout *)
+  | By_connectivity
+      (** breadth-first over the driver-to-consumer graph, so connected
+          logic lands in nearby grid slots *)
+
+type config = {
+  placement : placement;
+  pitch_cm : float;         (** chip pitch on the board grid *)
+  board_cols : int;         (** chips per board row *)
+  velocity_cm_per_ns : float;  (** propagation velocity (~15 cm/ns on PCB) *)
+  intrinsic : Delay.t;      (** fixed driver/receiver delay *)
+  detour : float;           (** max routing detour factor, >= 1 *)
+  z0_ohm : float;           (** characteristic line impedance *)
+  z_load_ohm : float;       (** input impedance of one receiver *)
+  rise_time_ns : float;     (** signal edge rate *)
+  reflection_limit : float; (** |rho| above which a run is significant *)
+}
+
+val default_config : config
+(** ECL-10K-flavoured values: connectivity placement, 2 cm pitch, 32
+    chips per row, 15 cm/ns, 0.2/0.5 ns intrinsic, 1.8x detour, 50 ohm
+    line into 100 ohm receivers, 2 ns edges, 0.25 reflection limit. *)
+
+type route = {
+  r_net : string;
+  r_length_cm : float;      (** estimated run length *)
+  r_fanout : int;
+  r_delay : Delay.t;        (** computed interconnection delay *)
+  r_needs_line_analysis : bool;
+      (** propagation time exceeds a quarter of the rise time *)
+  r_reflection : float;     (** worst reflection coefficient magnitude *)
+  r_edge_sensitive : bool;  (** feeds a clock or enable pin *)
+  r_flagged : bool;         (** significant reflections on an
+                                edge-sensitive input (§1.3.2) *)
+}
+
+type report = {
+  p_routes : route list;
+  p_flagged : route list;
+  p_total_wire_cm : float;
+  p_applied : int;  (** nets whose wire delay was set from the routes *)
+}
+
+val place_and_route : ?config:config -> Netlist.t -> report
+(** Compute routes and delays without touching the netlist. *)
+
+val apply : ?config:config -> Netlist.t -> report
+(** [place_and_route], then install the computed delay on every net that
+    carries no explicit designer wire delay — the "circuit-as-packaged"
+    verification mode of §2.5.3. *)
+
+val violations : report -> Check.t list
+(** The flagged runs as verifier violations, so packaged-design
+    verification reports them alongside the timing errors (§1.3.2:
+    "allowing the timing verification process to flag them if they
+    affect edge-sensitive inputs"). *)
+
+val pp : Format.formatter -> report -> unit

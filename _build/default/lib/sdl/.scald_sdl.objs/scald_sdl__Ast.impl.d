@@ -1,0 +1,1 @@
+lib/sdl/ast.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/sdl/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/sdl/expander.ml: Ast Buffer Delay Directive Float Format Hashtbl List Netlist Parser Primitive Printf Scald_core String Sys Timebase Tvalue Wire_rule

@@ -1,0 +1,1 @@
+lib/sdl/expander.mli: Ast Format Scald_core

@@ -1,0 +1,1 @@
+lib/sdl/lexer.ml: Format List Printf String

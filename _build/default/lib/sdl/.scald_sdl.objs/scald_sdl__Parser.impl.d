@@ -1,0 +1,1 @@
+lib/sdl/parser.ml: Array Ast Buffer Char Format Lexer List Printf String

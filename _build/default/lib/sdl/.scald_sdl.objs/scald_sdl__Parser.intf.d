@@ -1,0 +1,1 @@
+lib/sdl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/sdl/xref.ml: Array Assertion Format List Netlist Option Scald_core String

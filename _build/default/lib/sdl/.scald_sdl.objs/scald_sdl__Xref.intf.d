@@ -1,0 +1,1 @@
+lib/sdl/xref.mli: Format Scald_core

@@ -1,0 +1,46 @@
+(** The SCALD Macro Expander (§3.3.2, Table 3-1).
+
+    Processing happens in the thesis's three phases:
+
+    + reading the input and building data structures ({!Parser});
+    + {b Pass 1}: an expansion of the design that builds the summary and
+      a synonym structure resolving the different names of each signal
+      (a macro's formal parameter and the caller's actual signal are two
+      names for one net);
+    + {b Pass 2}: a second expansion that outputs the fully elaborated
+      design — here, a {!Scald_core.Netlist.t} ready for the Timing
+      Verifier.
+
+    Macros take numeric properties (e.g. [SIZE=32]) that parameterize
+    vector subscripts: a parameter declared [I<0:SIZE-1>] expands to
+    [I<0:31>].  One expanded primitive stands for the whole vector —
+    vector symmetry is exploited, not bit-blasted (§3.3.2). *)
+
+type summary = {
+  s_macros_expanded : int;  (** macro call sites expanded *)
+  s_primitives : int;       (** primitive instances emitted *)
+  s_signals : int;          (** distinct signals after synonym resolution *)
+  s_synonyms : int;         (** formal/actual name pairs resolved *)
+}
+
+type expansion = {
+  e_netlist : Scald_core.Netlist.t;
+  e_summary : summary;
+  e_pass1_s : float;  (** CPU seconds spent in Pass 1 *)
+  e_pass2_s : float;  (** CPU seconds spent in Pass 2 (netlist output) *)
+}
+
+val expand :
+  ?defaults:Scald_core.Assertion.defaults ->
+  Ast.design ->
+  (expansion, string) result
+(** Run both passes over a parsed design.  The design must contain a
+    [PERIOD] statement; [CLOCK UNIT] defaults to one eighth of the
+    period, the default wire delay to 0.0/2.0 ns. *)
+
+val expand_exn : ?defaults:Scald_core.Assertion.defaults -> Ast.design -> expansion
+
+val load : ?defaults:Scald_core.Assertion.defaults -> string -> (expansion, string) result
+(** Parse and expand a source text. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,125 @@
+type token =
+  | Word of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Arrow
+  | Equals
+  | Minus
+  | Scope_p
+  | Scope_m
+  | Amp of string
+  | Eof
+
+type lexeme = { tok : token; line : int }
+
+let pp_token ppf = function
+  | Word w -> Format.fprintf ppf "%S" w
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Semi -> Format.pp_print_string ppf ";"
+  | Arrow -> Format.pp_print_string ppf "->"
+  | Equals -> Format.pp_print_string ppf "="
+  | Minus -> Format.pp_print_string ppf "-"
+  | Scope_p -> Format.pp_print_string ppf "/P"
+  | Scope_m -> Format.pp_print_string ppf "/M"
+  | Amp d -> Format.fprintf ppf "&%s" d
+  | Eof -> Format.pp_print_string ppf "<eof>"
+
+let is_word_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '<' | '>' | ':' | '+' | '_' | '$' | '#' ->
+    true
+  | _ -> false
+
+let is_letter c = match c with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let rec word_end i =
+    if i >= n then i
+    else
+      let c = src.[i] in
+      if is_word_char c then word_end (i + 1)
+      else if
+        (* '-' continues a word when glued between word characters:
+           "P2-3", "SIZE-1", "-1.0" after the leading digit context. *)
+        c = '-' && i + 1 < n && is_word_char src.[i + 1] && src.[i + 1] <> '>'
+      then word_end (i + 1)
+      else if
+        (* '/' continues a word when it separates two numbers:
+           "1.0/3.8"; "/P" and "/M" are scope tokens instead. *)
+        c = '/' && i + 1 < n
+        && (match src.[i + 1] with '0' .. '9' | '-' | '.' -> true | _ -> false)
+      then word_end (i + 1)
+      else i
+  in
+  let rec go i =
+    if i >= n then begin
+      emit Eof;
+      Ok (List.rev !out)
+    end
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        (* comment to end of line *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '-' when i + 1 < n && src.[i + 1] = '>' ->
+        emit Arrow;
+        go (i + 2)
+      | '-' when i + 1 < n && is_word_char src.[i + 1] ->
+        (* a glued "-1.0" negative number or "-WE" complement-as-word;
+           lex as one word, the parser splits complements. *)
+        let j = word_end (i + 1) in
+        emit (Word (String.sub src i (j - i)));
+        go j
+      | '-' ->
+        emit Minus;
+        go (i + 1)
+      | '(' ->
+        emit Lparen;
+        go (i + 1)
+      | ')' ->
+        emit Rparen;
+        go (i + 1)
+      | ',' ->
+        emit Comma;
+        go (i + 1)
+      | ';' ->
+        emit Semi;
+        go (i + 1)
+      | '=' ->
+        emit Equals;
+        go (i + 1)
+      | '/' when i + 1 < n && (src.[i + 1] = 'P' || src.[i + 1] = 'p') ->
+        emit Scope_p;
+        go (i + 2)
+      | '/' when i + 1 < n && (src.[i + 1] = 'M' || src.[i + 1] = 'm') ->
+        emit Scope_m;
+        go (i + 2)
+      | '&' ->
+        let rec dend j = if j < n && is_letter src.[j] then dend (j + 1) else j in
+        let j = dend (i + 1) in
+        if j = i + 1 then Error (Printf.sprintf "line %d: '&' with no directive letters" !line)
+        else begin
+          emit (Amp (String.sub src (i + 1) (j - i - 1)));
+          go j
+        end
+      | c when is_word_char c ->
+        let j = word_end i in
+        emit (Word (String.sub src i (j - i)));
+        go j
+      | c -> Error (Printf.sprintf "line %d: unexpected character %C" !line c)
+  in
+  go 0

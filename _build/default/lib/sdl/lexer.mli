@@ -1,0 +1,28 @@
+(** Tokenizer for the textual SCALD HDL.
+
+    Signal names are multi-word and may contain periods, vector
+    subscripts and assertion ranges, so the lexer is deliberately
+    permissive: anything that is not punctuation becomes a [Word], and
+    the parser joins adjacent words into names.  ["--"] starts a comment
+    to end of line. *)
+
+type token =
+  | Word of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Arrow    (** ["->"] *)
+  | Equals
+  | Minus    (** a standalone ["-"]: the complement prefix *)
+  | Scope_p  (** ["/P"] *)
+  | Scope_m  (** ["/M"] *)
+  | Amp of string  (** ["&HZ"] evaluation directive *)
+  | Eof
+
+type lexeme = { tok : token; line : int }
+
+val tokenize : string -> (lexeme list, string) result
+(** Tokenize a whole source text; the list always ends with [Eof]. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,310 @@
+type state = { toks : Lexer.lexeme array; mutable pos : int }
+
+exception Parse_error of string
+
+let fail st fmt =
+  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).Lexer.line else 0 in
+  Format.kasprintf (fun msg -> raise (Parse_error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let peek st = st.toks.(st.pos).Lexer.tok
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.tok else Lexer.Eof
+
+let line st = st.toks.(st.pos).Lexer.line
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail st "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let keyword_is w kw = String.uppercase_ascii w = kw
+
+let starts_with_digit w = String.length w > 0 && match w.[0] with '0' .. '9' -> true | _ -> false
+
+let has_assertion name =
+  (* a " .P", " .C" or " .S" marker somewhere in the collected name *)
+  let n = String.length name in
+  let rec go i =
+    if i + 2 >= n then false
+    else if
+      name.[i] = ' ' && name.[i + 1] = '.'
+      && (match Char.uppercase_ascii name.[i + 2] with 'P' | 'C' | 'S' -> true | _ -> false)
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- numbers ------------------------------------------------------------- *)
+
+let parse_floats st w =
+  let parts = String.split_on_char '/' w in
+  List.map
+    (fun p ->
+      match float_of_string_opt p with
+      | Some f -> f
+      | None -> fail st "expected a number, found %S" p)
+    parts
+
+let parse_number st =
+  match peek st with
+  | Lexer.Word w ->
+    advance st;
+    (match parse_floats st w with
+    | [ f ] -> f
+    | _ -> fail st "expected a single number, found %S" w)
+  | t -> fail st "expected a number, found %a" Lexer.pp_token t
+
+let parse_pair st =
+  match peek st with
+  | Lexer.Word w ->
+    advance st;
+    (match parse_floats st w with
+    | [ a; b ] -> (a, b)
+    | [ a ] -> (a, a)
+    | _ -> fail st "expected min/max pair, found %S" w)
+  | t -> fail st "expected min/max pair, found %a" Lexer.pp_token t
+
+(* ---- signal references ------------------------------------------------------ *)
+
+let parse_sigref st =
+  let complement =
+    match peek st with
+    | Lexer.Minus ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let buf = Buffer.create 32 in
+  let rec words () =
+    match peek st with
+    | Lexer.Word w ->
+      advance st;
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf w;
+      words ()
+    | Lexer.Comma -> (
+      (* A comma directly followed by a digit-initial word continues a
+         multi-range assertion such as ".C2-3,5-6". *)
+      match peek2 st with
+      | Lexer.Word w when starts_with_digit w && has_assertion (Buffer.contents buf) ->
+        advance st;
+        advance st;
+        Buffer.add_char buf ',';
+        Buffer.add_string buf w;
+        words ()
+      | _ -> ())
+    | _ -> ()
+  in
+  words ();
+  if Buffer.length buf = 0 then fail st "expected a signal name, found %a" Lexer.pp_token (peek st);
+  let scope =
+    match peek st with
+    | Lexer.Scope_p ->
+      advance st;
+      Ast.Param
+    | Lexer.Scope_m ->
+      advance st;
+      Ast.Local
+    | _ -> Ast.Global
+  in
+  let directive =
+    match peek st with
+    | Lexer.Amp d ->
+      advance st;
+      Some d
+    | _ -> None
+  in
+  { Ast.complement; name = Buffer.contents buf; scope; directive }
+
+let rec parse_sigref_list st acc =
+  let s = parse_sigref st in
+  match peek st with
+  | Lexer.Comma ->
+    advance st;
+    parse_sigref_list st (s :: acc)
+  | _ -> List.rev (s :: acc)
+
+(* ---- properties ---------------------------------------------------------------- *)
+
+let rec parse_props st acc =
+  match peek st with
+  | Lexer.Word name when peek2 st = Lexer.Equals ->
+    advance st;
+    advance st;
+    let values =
+      match peek st with
+      | Lexer.Word w ->
+        advance st;
+        parse_floats st w
+      | t -> fail st "expected property value, found %a" Lexer.pp_token t
+    in
+    let prop = { Ast.p_name = String.uppercase_ascii name; p_values = values } in
+    (match peek st with
+    | Lexer.Comma ->
+      advance st;
+      parse_props st (prop :: acc)
+    | _ -> List.rev (prop :: acc))
+  | t -> fail st "expected NAME=value property, found %a" Lexer.pp_token t
+
+(* ---- instances -------------------------------------------------------------------- *)
+
+let parse_head st =
+  let buf = Buffer.create 16 in
+  let rec words () =
+    match peek st with
+    | Lexer.Word w ->
+      advance st;
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf w;
+      words ()
+    | _ -> ()
+  in
+  words ();
+  if Buffer.length buf = 0 then
+    fail st "expected a primitive or macro name, found %a" Lexer.pp_token (peek st);
+  Buffer.contents buf
+
+let parse_instance st =
+  let i_line = line st in
+  let head = parse_head st in
+  expect st Lexer.Lparen "'('";
+  (* Disambiguate a property group from the argument list: properties
+     always start with NAME= . *)
+  let props =
+    match peek st, peek2 st with
+    | Lexer.Word _, Lexer.Equals ->
+      let props = parse_props st [] in
+      expect st Lexer.Rparen "')' after properties";
+      expect st Lexer.Lparen "'(' before arguments";
+      props
+    | _, _ -> []
+  in
+  let args = if peek st = Lexer.Rparen then [] else parse_sigref_list st [] in
+  expect st Lexer.Rparen "')' after arguments";
+  let outs =
+    match peek st with
+    | Lexer.Arrow ->
+      advance st;
+      parse_sigref_list st []
+    | _ -> []
+  in
+  expect st Lexer.Semi "';'";
+  { Ast.i_head = head; i_props = props; i_args = args; i_outs = outs; i_line }
+
+(* ---- macro definitions --------------------------------------------------------------- *)
+
+let parse_macro st =
+  let m_line = line st in
+  advance st;
+  (* MACRO *)
+  let name = parse_head st in
+  expect st Lexer.Semi "';' after macro name";
+  let params =
+    match peek st with
+    | Lexer.Word w when keyword_is w "PARAMETER" ->
+      advance st;
+      let ps = parse_sigref_list st [] in
+      expect st Lexer.Semi "';' after parameters";
+      ps
+    | _ -> []
+  in
+  (match peek st with
+  | Lexer.Word w when keyword_is w "BODY" -> advance st
+  | t -> fail st "expected BODY, found %a" Lexer.pp_token t);
+  let rec body acc =
+    match peek st with
+    | Lexer.Word w when keyword_is w "END" ->
+      advance st;
+      expect st Lexer.Semi "';' after END";
+      List.rev acc
+    | Lexer.Eof -> fail st "unterminated macro %s (missing END)" name
+    | _ -> body (parse_instance st :: acc)
+  in
+  let m_body = body [] in
+  { Ast.m_name = name; m_params = params; m_body; m_line }
+
+(* ---- top level --------------------------------------------------------------------------- *)
+
+let parse_paren_sigref st =
+  expect st Lexer.Lparen "'('";
+  let s = parse_sigref st in
+  expect st Lexer.Rparen "')'";
+  s
+
+let parse_top st =
+  match peek st with
+  | Lexer.Word w when keyword_is w "MACRO" -> Ast.Macro (parse_macro st)
+  | Lexer.Word w when keyword_is w "PERIOD" ->
+    advance st;
+    let f = parse_number st in
+    expect st Lexer.Semi "';'";
+    Ast.Period f
+  | Lexer.Word w
+    when keyword_is w "CLOCK"
+         && match peek2 st with Lexer.Word u -> keyword_is u "UNIT" | _ -> false ->
+    advance st;
+    advance st;
+    let f = parse_number st in
+    expect st Lexer.Semi "';'";
+    Ast.Clock_unit f
+  | Lexer.Word w
+    when keyword_is w "DEFAULT"
+         && match peek2 st with Lexer.Word u -> keyword_is u "WIRE" | _ -> false ->
+    advance st;
+    advance st;
+    (match peek st with
+    | Lexer.Word d when keyword_is d "DELAY" -> advance st
+    | t -> fail st "expected DELAY, found %a" Lexer.pp_token t);
+    let a, b = parse_pair st in
+    expect st Lexer.Semi "';'";
+    Ast.Default_wire (a, b)
+  | Lexer.Word w
+    when keyword_is w "WIRE"
+         && match peek2 st with Lexer.Word u -> keyword_is u "DELAY" | _ -> false ->
+    advance st;
+    advance st;
+    let s = parse_paren_sigref st in
+    expect st Lexer.Equals "'='";
+    let a, b = parse_pair st in
+    expect st Lexer.Semi "';'";
+    Ast.Wire_delay (s, (a, b))
+  | Lexer.Word w
+    when keyword_is w "WIRE"
+         && match peek2 st with Lexer.Word u -> keyword_is u "RULE" | _ -> false ->
+    advance st;
+    advance st;
+    let base = parse_pair st in
+    (match peek st, peek2 st with
+    | Lexer.Word p1, Lexer.Word p2 when keyword_is p1 "PER" && keyword_is p2 "LOAD" ->
+      advance st;
+      advance st
+    | _, _ -> fail st "expected PER LOAD after the base range");
+    let per_load = parse_pair st in
+    expect st Lexer.Semi "';'";
+    Ast.Wire_rule (base, per_load)
+  | Lexer.Word w
+    when keyword_is w "WIDTH" && peek2 st = Lexer.Lparen ->
+    advance st;
+    let s = parse_paren_sigref st in
+    expect st Lexer.Equals "'='";
+    let n = parse_number st in
+    expect st Lexer.Semi "';'";
+    Ast.Width_decl (s, int_of_float n)
+  | _ -> Ast.Top_instance (parse_instance st)
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok lexemes -> (
+    let st = { toks = Array.of_list lexemes; pos = 0 } in
+    try
+      let rec go acc =
+        match peek st with Lexer.Eof -> List.rev acc | _ -> go (parse_top st :: acc)
+      in
+      Ok (go [])
+    with Parse_error msg -> Error msg)
+
+let parse_exn src =
+  match parse src with Ok d -> d | Error e -> invalid_arg ("Sdl parse: " ^ e)

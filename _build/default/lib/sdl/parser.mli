@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the textual SCALD HDL.
+
+    See {!Ast} for the grammar by example.  Keywords are
+    case-insensitive; signal names keep their case.  Assertions with
+    multiple ranges ([.C2-3,5-6]) are supported — a comma directly
+    followed by a digit-initial range continues the assertion rather
+    than starting a new argument.  Parenthesized explicit skew
+    specifications are not accepted in HDL names (use the library API
+    for those). *)
+
+val parse : string -> (Ast.design, string) result
+(** Parse a whole source text. *)
+
+val parse_exn : string -> Ast.design
+(** @raise Invalid_argument with the parse error. *)

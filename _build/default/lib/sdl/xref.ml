@@ -1,0 +1,41 @@
+open Scald_core
+
+type entry = {
+  x_signal : string;
+  x_width : int;
+  x_defined_by : string option;
+  x_used_by : string list;
+  x_assertion : string option;
+}
+
+let entry_of_net nl (n : Netlist.net) =
+  {
+    x_signal = n.Netlist.n_name;
+    x_width = n.Netlist.n_width;
+    x_defined_by =
+      Option.map (fun i -> (Netlist.inst nl i).Netlist.i_name) n.Netlist.n_driver;
+    x_used_by =
+      List.rev_map (fun i -> (Netlist.inst nl i).Netlist.i_name) n.Netlist.n_fanout;
+    x_assertion = Option.map Assertion.to_string n.Netlist.n_assertion;
+  }
+
+let build nl =
+  Array.to_list (Netlist.nets nl)
+  |> List.map (entry_of_net nl)
+  |> List.sort (fun a b -> String.compare a.x_signal b.x_signal)
+
+let unasserted nl =
+  Netlist.undriven_unasserted nl
+  |> List.map (entry_of_net nl)
+  |> List.sort (fun a b -> String.compare a.x_signal b.x_signal)
+
+let pp ppf entries =
+  Format.fprintf ppf "@[<v>CROSS REFERENCE LISTING@,";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-28s width %-3d  defined by %-24s  used by %s@," e.x_signal
+        e.x_width
+        (match e.x_defined_by with Some d -> d | None -> "(none)")
+        (match e.x_used_by with [] -> "(none)" | l -> String.concat ", " l))
+    entries;
+  Format.fprintf ppf "@]"

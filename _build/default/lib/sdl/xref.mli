@@ -1,0 +1,23 @@
+(** Cross-reference listings (§2.9, Table 3-1 "Generating cross
+    reference listings").
+
+    The Timing Verifier generates listings that aid the designer in
+    finding where signals are defined and used within the design, plus
+    the special listing of signals that have neither an assertion nor a
+    driver (§2.5). *)
+
+type entry = {
+  x_signal : string;
+  x_width : int;
+  x_defined_by : string option;  (** driving instance *)
+  x_used_by : string list;       (** consuming instances *)
+  x_assertion : string option;
+}
+
+val build : Scald_core.Netlist.t -> entry list
+(** One entry per net, sorted by signal name. *)
+
+val unasserted : Scald_core.Netlist.t -> entry list
+(** The special cross-reference of undriven, unasserted signals. *)
+
+val pp : Format.formatter -> entry list -> unit

@@ -1,0 +1,1 @@
+test/test_assertion.ml: Alcotest Assertion List QCheck QCheck_alcotest Scald_core Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+test/test_case_analysis.ml: Alcotest Case_analysis List Netlist Printf Scald_cells Scald_core Timebase Tvalue Verifier

@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Delay Eval List Netlist Path_analysis Primitive Scald_cells Scald_core Timebase Tvalue Verifier Waveform

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Assertion Check Fmt List Scald_core Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Case_analysis Check Delay Eval Format List Netlist Scald_cells Scald_core Timebase Tvalue Verifier Waveform

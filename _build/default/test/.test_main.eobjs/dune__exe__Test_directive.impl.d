@@ -1,0 +1,1 @@
+test/test_directive.ml: Alcotest Directive Scald_core

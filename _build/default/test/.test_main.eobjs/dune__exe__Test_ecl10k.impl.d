@@ -1,0 +1,1 @@
+test/test_ecl10k.ml: Alcotest Check Delay Eval Format List Netlist Path_analysis Primitive Scald_cells Scald_core Timebase Tvalue Verifier Waveform

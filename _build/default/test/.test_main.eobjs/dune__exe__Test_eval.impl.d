@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Check Delay Directive Eval List Netlist Primitive Scald_core Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Buffer Eval Format List Report Scald_cells Scald_core Slack String Verifier

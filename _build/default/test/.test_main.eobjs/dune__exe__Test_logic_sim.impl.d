@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Delay Eval List Logic_sim Netlist Primitive Printf Scald_core Timebase Tvalue Waveform

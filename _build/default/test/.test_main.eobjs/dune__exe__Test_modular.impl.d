@@ -1,0 +1,1 @@
+test/test_modular.ml: Alcotest Delay List Modular Netlist Scald_cells Scald_core Timebase

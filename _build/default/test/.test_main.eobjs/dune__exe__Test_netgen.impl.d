@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Check Eval Format List Netgen Printf Scald_core Scald_sdl Stats Verifier

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Delay List Netlist Primitive Scald_core Timebase

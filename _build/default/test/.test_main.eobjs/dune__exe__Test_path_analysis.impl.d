@@ -1,0 +1,1 @@
+test/test_path_analysis.ml: Alcotest Case_analysis Delay List Netlist Path_analysis Primitive Printf Scald_cells Scald_core Timebase Verifier

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Check Delay Format List Netlist Physical Primitive Printf Scald_core Timebase Verifier

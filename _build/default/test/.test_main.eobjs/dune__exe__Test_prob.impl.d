@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Check Delay List Netlist Path_analysis Primitive Printf Prob_analysis Scald_cells Scald_core Timebase Verifier

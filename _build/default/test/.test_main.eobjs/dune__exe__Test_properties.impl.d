@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Check Delay Eval Format Int List Netlist Primitive Printf QCheck QCheck_alcotest Scald_core Timebase Tvalue Waveform

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format List Report Scald_cells Scald_core String Verifier

@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Delay Eval Format List Netlist Primitive Scald_cells Scald_core Slack String Timebase Timing_diagram Tvalue Vcd Verifier Waveform

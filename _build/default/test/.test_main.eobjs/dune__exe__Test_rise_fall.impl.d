@@ -1,0 +1,1 @@
+test/test_rise_fall.ml: Alcotest Check Delay Eval Format List Netlist Primitive Scald_core Scald_sdl Timebase Tvalue Waveform

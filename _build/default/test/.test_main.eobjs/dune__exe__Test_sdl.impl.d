@@ -1,0 +1,1 @@
+test/test_sdl.ml: Alcotest Case_analysis Check Delay Eval Format List Netlist Option Path_analysis Primitive Scald_cells Scald_core Scald_sdl Timebase Tvalue Verifier Waveform

@@ -1,0 +1,1 @@
+test/test_signal_name.ml: Alcotest Assertion List Scald_core Signal_name

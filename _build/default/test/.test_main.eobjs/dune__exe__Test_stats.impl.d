@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array List Netlist Printf Scald_cells Scald_core Stats Verifier

@@ -1,0 +1,1 @@
+test/test_timebase.ml: Alcotest Format Scald_core Timebase

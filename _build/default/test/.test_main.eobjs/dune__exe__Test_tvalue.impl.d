@@ -1,0 +1,1 @@
+test/test_tvalue.ml: Alcotest List QCheck QCheck_alcotest Scald_core String Tvalue

@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Format Int List QCheck QCheck_alcotest Scald_core Timebase Tvalue Waveform

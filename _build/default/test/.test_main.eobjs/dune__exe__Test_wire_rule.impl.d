@@ -1,0 +1,1 @@
+test/test_wire_rule.ml: Alcotest Delay List Netlist Primitive Printf Scald_core Timebase Verifier Wire_rule

@@ -1,0 +1,193 @@
+open Scald_core
+
+let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25
+
+let tv = Alcotest.testable Tvalue.pp Tvalue.equal
+
+let parse_ok spec =
+  match Assertion.parse spec with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "parse %S failed: %s" spec e
+
+let wf a = Assertion.to_waveform Assertion.s1_defaults tb a
+
+(* ---- parsing the thesis's examples (§2.5.1) ----------------------------- *)
+
+let test_clock_low_active () =
+  (* "XYZ .C 4-6 L": high-to-low at 4, low-to-high at 6. *)
+  let a = parse_ok "C 4-6 L" in
+  Alcotest.(check bool) "low active" true a.Assertion.low_active;
+  let w = wf a in
+  Alcotest.check tv "low during range" Tvalue.V0 (Waveform.value_at w (Timebase.ps_of_ns 30.));
+  Alcotest.check tv "high outside" Tvalue.V1 (Waveform.value_at w (Timebase.ps_of_ns 10.))
+
+let test_clock_two_ranges () =
+  (* "XYZ .C2-3,5-6": high from 2 to 3 and from 5 to 6. *)
+  let a = parse_ok "C2-3,5-6" in
+  let w = wf a in
+  let at u = Waveform.value_at w (Timebase.ps_of_units tb u) in
+  Alcotest.check tv "high 2-3" Tvalue.V1 (at 2.5);
+  Alcotest.check tv "low 3-5" Tvalue.V0 (at 4.0);
+  Alcotest.check tv "high 5-6" Tvalue.V1 (at 5.5);
+  Alcotest.check tv "low elsewhere" Tvalue.V0 (at 1.0)
+
+let test_single_times_one_unit () =
+  (* "XYZ .C2,5" is equivalent to .C2-3,5-6: a single time is one clock
+     unit wide. *)
+  let a = parse_ok "C2,5" in
+  let b = parse_ok "C2-3,5-6" in
+  let wa = Waveform.materialize (wf a) and wb = Waveform.materialize (wf b) in
+  Alcotest.(check bool) "equivalent" true (Waveform.equal wa wb)
+
+let test_width_in_ns () =
+  (* "XYZ .C2+10.0": high at clock unit 2 for 10.0 ns (does not scale
+     with cycle time). *)
+  let a = parse_ok "C2+10.0" in
+  let w = wf a in
+  let at_ps t = Waveform.value_at w t in
+  Alcotest.check tv "start" Tvalue.V1 (at_ps (Timebase.ps_of_ns 13.));
+  Alcotest.check tv "end inside" Tvalue.V1 (at_ps (Timebase.ps_of_ns 22.));
+  Alcotest.check tv "after" Tvalue.V0 (at_ps (Timebase.ps_of_ns 23.))
+
+let test_explicit_skew () =
+  let a = parse_ok "P(-0.5,0.5)2-3" in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+    "skew" (Some (-0.5, 0.5)) a.Assertion.skew_ns;
+  let w = wf a in
+  Alcotest.(check (pair int int)) "skew ps" (-500, 500) (Waveform.skew w)
+
+let test_default_skews () =
+  let p = wf (parse_ok "P2-3") in
+  let c = wf (parse_ok "C2-3") in
+  Alcotest.(check (pair int int)) "precision +-1ns" (-1000, 1000) (Waveform.skew p);
+  Alcotest.(check (pair int int)) "non-precision +-5ns" (-5000, 5000) (Waveform.skew c)
+
+let test_stable () =
+  (* ".S4-8" stable from 4 to 8, changing the rest. *)
+  let a = parse_ok "S4-8" in
+  Alcotest.(check bool) "kind" true (a.Assertion.kind = Assertion.Stable);
+  let w = wf a in
+  let at u = Waveform.value_at w (Timebase.ps_of_units tb u) in
+  Alcotest.check tv "stable inside" Tvalue.Stable (at 6.0);
+  Alcotest.check tv "changing outside" Tvalue.Change (at 2.0);
+  Alcotest.(check (pair int int)) "no skew" (0, 0) (Waveform.skew w)
+
+let test_stable_modulo () =
+  (* ".S4-9" on an 8-unit cycle: stable from 4 to 1 of the next cycle
+     (§3.2). *)
+  let a = parse_ok "S4-9" in
+  let w = wf a in
+  let at u = Waveform.value_at w (Timebase.ps_of_units tb u) in
+  Alcotest.check tv "stable 4-8" Tvalue.Stable (at 6.0);
+  Alcotest.check tv "stable wrap 0-1" Tvalue.Stable (at 0.5);
+  Alcotest.check tv "changing 1-4" Tvalue.Change (at 2.0)
+
+let test_roundtrip () =
+  List.iter
+    (fun spec ->
+      let a = parse_ok spec in
+      let b = parse_ok (Assertion.to_string a) in
+      Alcotest.(check bool) (spec ^ " roundtrip") true (Assertion.equal a b))
+    [ "P2-3 L"; "C 4-6 L"; "C2-3,5-6"; "C2,5"; "C2+10.0"; "S4-8"; "S0-6 L"; "P(-0.5,0.5)2-3" ]
+
+let test_errors () =
+  let fails spec =
+    match Assertion.parse spec with
+    | Ok _ -> Alcotest.failf "expected %S to fail" spec
+    | Error _ -> ()
+  in
+  fails "";
+  fails "Q2-3";
+  fails "P";
+  fails "P2-3 X";
+  fails "S(0,1)2-3" (* skew only on clocks *);
+  fails "Pabc"
+
+let test_intervals () =
+  let a = parse_ok "S4-9" in
+  match Assertion.intervals tb a with
+  | [ (s, e) ] ->
+    Alcotest.(check int) "start" 25_000 s;
+    Alcotest.(check int) "stop (unwrapped)" 56_250 e
+  | l -> Alcotest.failf "expected one interval, got %d" (List.length l)
+
+(* ---- property: parse . to_string is the identity ------------------------ *)
+
+let gen_assertion =
+  let open QCheck.Gen in
+  let gen_range =
+    let* kind = int_range 0 2 in
+    let* a = int_range 0 15 in
+    let a = float_of_int a /. 2. in
+    match kind with
+    | 0 -> return (Assertion.Unit_at a)
+    | 1 ->
+      let* b = int_range 1 8 in
+      return (Assertion.Between (a, a +. (float_of_int b /. 2.)))
+    | _ ->
+      let* w = int_range 1 20 in
+      return (Assertion.For_ns (a, float_of_int w /. 2.))
+  in
+  let gen =
+    let* kind = oneofl [ Assertion.Precision_clock; Assertion.Nonprecision_clock; Assertion.Stable ] in
+    let* n = int_range 1 3 in
+    let* ranges = list_repeat n gen_range in
+    let* low_active = bool in
+    let* skew_ns =
+      if kind = Assertion.Stable then return None
+      else
+        let* has = bool in
+        if not has then return None
+        else
+          let* m = int_range 0 4 in
+          let* p = int_range 0 4 in
+          return (Some (-.float_of_int m /. 2., float_of_int p /. 2.))
+    in
+    return { Assertion.kind; skew_ns; ranges; low_active }
+  in
+  QCheck.make ~print:Assertion.to_string gen
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"to_string/parse roundtrip" gen_assertion
+         (fun a ->
+           match Assertion.parse (Assertion.to_string a) with
+           | Ok b -> Assertion.equal a b
+           | Error _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"waveform widths sum to the period" gen_assertion
+         (fun a ->
+           let w = wf a in
+           List.fold_left (fun acc (_, width) -> acc + width) 0 (Waveform.segments w)
+           = Timebase.period tb));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"stable assertions use only S/C" gen_assertion
+         (fun a ->
+           match a.Assertion.kind with
+           | Assertion.Stable ->
+             List.for_all
+               (fun (v, _) ->
+                 match v with Tvalue.Stable | Tvalue.Change -> true | _ -> false)
+               (Waveform.segments (wf a))
+           | _ ->
+             List.for_all
+               (fun (v, _) -> match v with Tvalue.V0 | Tvalue.V1 -> true | _ -> false)
+               (Waveform.segments (wf a))));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "clock low active" `Quick test_clock_low_active;
+    Alcotest.test_case "clock two ranges" `Quick test_clock_two_ranges;
+    Alcotest.test_case "single time = one unit" `Quick test_single_times_one_unit;
+    Alcotest.test_case "width in ns" `Quick test_width_in_ns;
+    Alcotest.test_case "explicit skew" `Quick test_explicit_skew;
+    Alcotest.test_case "default skews" `Quick test_default_skews;
+    Alcotest.test_case "stable" `Quick test_stable;
+    Alcotest.test_case "stable modulo cycle" `Quick test_stable_modulo;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "intervals" `Quick test_intervals;
+  ]
+  @ properties

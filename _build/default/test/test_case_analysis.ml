@@ -1,0 +1,76 @@
+open Scald_core
+
+let tv = Alcotest.testable Tvalue.pp Tvalue.equal
+
+let test_parse_two_cases () =
+  (* the thesis's §2.7.1 specification *)
+  let cases = Case_analysis.parse_exn "CONTROL SIGNAL = 0;\nCONTROL SIGNAL = 1;\n" in
+  match cases with
+  | [ [ (n1, v1) ]; [ (n2, v2) ] ] ->
+    Alcotest.(check string) "name" "CONTROL SIGNAL" n1;
+    Alcotest.(check string) "name" "CONTROL SIGNAL" n2;
+    Alcotest.check tv "case 1" Tvalue.V0 v1;
+    Alcotest.check tv "case 2" Tvalue.V1 v2
+  | _ -> Alcotest.fail "expected two one-signal cases"
+
+let test_parse_multi_assignment_case () =
+  let cases = Case_analysis.parse_exn "A = 0, B = 1;\nA = 1, B = 0;" in
+  Alcotest.(check int) "two cases" 2 (List.length cases);
+  Alcotest.(check int) "two assignments each" 2 (List.length (List.hd cases))
+
+let test_parse_empty_and_whitespace () =
+  Alcotest.(check int) "empty" 0 (List.length (Case_analysis.parse_exn ""));
+  Alcotest.(check int) "blank groups" 1 (List.length (Case_analysis.parse_exn ";;A = 1;;"))
+
+let test_parse_errors () =
+  let fails s =
+    match Case_analysis.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to fail" s
+  in
+  fails "A = 2;";
+  fails "A;";
+  fails "= 0;"
+
+let test_complete () =
+  let cases = Case_analysis.complete [ "A"; "B" ] in
+  Alcotest.(check int) "2^2 cases" 4 (List.length cases);
+  let distinct = List.sort_uniq compare cases in
+  Alcotest.(check int) "all distinct" 4 (List.length distinct)
+
+let test_resolve () =
+  let nl = Netlist.create (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25) in
+  let id = Netlist.signal nl "CTL .S0-8" in
+  let resolved = Case_analysis.resolve nl [ ("CTL .S0-8", Tvalue.V1) ] in
+  Alcotest.(check (list (pair int (Alcotest.testable Tvalue.pp Tvalue.equal))))
+    "resolved" [ (id, Tvalue.V1) ] resolved;
+  match Case_analysis.resolve nl [ ("MISSING", Tvalue.V0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown signal should fail"
+
+(* End-to-end: the Figure 2-6 circuit. *)
+let test_bypass_delays () =
+  let bp = Scald_cells.Circuits.bypass_example () in
+  let nl = bp.Scald_cells.Circuits.bp_netlist in
+  let r0 = Verifier.verify nl in
+  Alcotest.(check (float 0.01)) "40 ns without cases" 40.0
+    (Scald_cells.Circuits.bypass_path_ns r0 bp);
+  let cases =
+    Case_analysis.parse_exn
+      (Printf.sprintf "%s = 0;%s = 1;" bp.Scald_cells.Circuits.bp_control
+         bp.Scald_cells.Circuits.bp_control)
+  in
+  let r1 = Verifier.verify ~cases nl in
+  Alcotest.(check (float 0.01)) "30 ns with cases" 30.0
+    (Scald_cells.Circuits.bypass_path_ns r1 bp)
+
+let suite =
+  [
+    Alcotest.test_case "parse two cases" `Quick test_parse_two_cases;
+    Alcotest.test_case "parse multi assignment" `Quick test_parse_multi_assignment_case;
+    Alcotest.test_case "parse empty" `Quick test_parse_empty_and_whitespace;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "resolve" `Quick test_resolve;
+    Alcotest.test_case "bypass delays 40 vs 30" `Quick test_bypass_delays;
+  ]

@@ -1,0 +1,222 @@
+open Scald_core
+module Cells = Scald_cells.Cells
+
+let make_nl () =
+  Netlist.create
+    (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+    ~default_wire_delay:Delay.zero
+
+let prim_count nl mnemonic =
+  let n = ref 0 in
+  Netlist.iter_insts nl (fun i ->
+      if Primitive.mnemonic i.Netlist.i_prim = mnemonic then incr n);
+  !n
+
+let test_register_chip () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-6" in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  let q = Netlist.signal nl "Q" in
+  Cells.register nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) q;
+  Alcotest.(check int) "one reg" 1 (prim_count nl "REG");
+  Alcotest.(check int) "one checker" 1 (prim_count nl "SETUP HOLD CHK");
+  Alcotest.(check int) "two primitives" 2 (Netlist.n_insts nl)
+
+let test_ram_chip () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "I .S0-6" in
+  let a = Netlist.signal nl "A .S0-6" in
+  let cs = Netlist.signal nl "CS" in
+  let we = Netlist.signal nl "WE .P2-3" in
+  let dout = Netlist.signal nl "DO" in
+  Cells.ram16 nl ~size:32 ~data:(Netlist.conn d) ~adr:(Netlist.conn a)
+    ~cs:(Netlist.conn cs) ~we:(Netlist.conn we) dout;
+  Alcotest.(check int) "two checkers vs -WE" 2 (prim_count nl "SETUP HOLD CHK");
+  Alcotest.(check int) "address checker" 1 (prim_count nl "SETUP RISE HOLD FALL CHK");
+  Alcotest.(check int) "pulse checker" 1 (prim_count nl "MIN PULSE WIDTH");
+  Alcotest.(check int) "two CHG stages" 2 (prim_count nl "3 CHG" + prim_count nl "1 CHG");
+  (* the output width follows the SIZE parameter via the internal net *)
+  Alcotest.(check int) "six primitives" 6 (Netlist.n_insts nl)
+
+let test_ram_checker_polarity () =
+  (* the data checker clocks on the complement of WE (its falling
+     edge) *)
+  let nl = make_nl () in
+  let d = Netlist.signal nl "I .S0-6" in
+  let a = Netlist.signal nl "A .S0-6" in
+  let cs = Netlist.signal nl "CS" in
+  let we = Netlist.signal nl "WE .P2-3" in
+  let dout = Netlist.signal nl "DO" in
+  Cells.ram16 nl ~size:16 ~data:(Netlist.conn d) ~adr:(Netlist.conn a)
+    ~cs:(Netlist.conn cs) ~we:(Netlist.conn we) dout;
+  let found = ref false in
+  Netlist.iter_insts nl (fun i ->
+      match i.Netlist.i_prim with
+      | Primitive.Setup_hold_check _ ->
+        if i.Netlist.i_inputs.(0).Netlist.c_net = d then begin
+          found := true;
+          Alcotest.(check bool) "clock input complemented" true
+            i.Netlist.i_inputs.(1).Netlist.c_invert
+        end
+      | _ -> ());
+  Alcotest.(check bool) "data checker present" true !found
+
+let test_mux_timing () =
+  (* Figure 3-6: 1.2/3.3 plus 0.3/1.2 extra on the select *)
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-8" in
+  let b = Netlist.signal nl "B .S0-8" in
+  let s = Netlist.signal nl "CK .P(0,0)0-4" in
+  let q = Netlist.signal nl "Q" in
+  Cells.mux2 nl ~a:(Netlist.conn a) ~b:(Netlist.conn b) ~sel:(Netlist.conn s) q;
+  let ev = Eval.create nl in
+  Eval.run ev;
+  let m = Waveform.materialize (Eval.value ev q) in
+  let changing = Waveform.intervals_where Tvalue.is_changing m in
+  (* select edge at 25 ns: output changes [25+1.5, 25+4.5] *)
+  Alcotest.(check bool) "change window at select edge" true
+    (List.exists (fun (st, w) -> st = 26_500 && st + w = 29_500) changing)
+
+let test_latch_chip () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-4" in
+  let e = Netlist.signal nl "E .P2-4" in
+  let q = Netlist.signal nl "Q" in
+  Cells.latch nl ~data:(Netlist.conn d) ~enable:(Netlist.conn e) q;
+  Alcotest.(check int) "latch + checker" 2 (Netlist.n_insts nl);
+  (* the checker watches the complement (closing edge) of the enable *)
+  let ok = ref false in
+  Netlist.iter_insts nl (fun i ->
+      match i.Netlist.i_prim with
+      | Primitive.Setup_hold_check _ ->
+        ok := i.Netlist.i_inputs.(1).Netlist.c_invert
+      | _ -> ());
+  Alcotest.(check bool) "closing-edge polarity" true !ok
+
+let test_internal_nets_zero_wire () =
+  let nl = make_nl () in
+  let id = Cells.internal nl "T" in
+  match (Netlist.net nl id).Netlist.n_wire_delay with
+  | Some d -> Alcotest.(check bool) "zero" true (Delay.equal d Delay.zero)
+  | None -> Alcotest.fail "internal net should have explicit zero wire delay"
+
+let test_internal_nets_unique () =
+  let nl = make_nl () in
+  let a = Cells.internal nl "T" in
+  let b = Cells.internal nl "T" in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+let test_alu_latch () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-6" in
+  let b = Netlist.signal nl "B .S0-6" in
+  let cin = Netlist.signal nl "C1 .S0-6" in
+  let s = Netlist.signal nl "S .S0-6" in
+  let e = Netlist.signal nl "E .P5-6" in
+  let f = Netlist.signal nl "F" in
+  Cells.alu_latch nl ~size:36 ~a:(Netlist.conn a) ~b:(Netlist.conn b)
+    ~carry_in:(Netlist.conn cin) ~fn_select:(Netlist.conn s) ~enable:(Netlist.conn e) f;
+  Alcotest.(check int) "chg + latch + checker" 3 (Netlist.n_insts nl);
+  Alcotest.(check int) "one 4-input CHG" 1 (prim_count nl "4 CHG")
+
+let test_parity_tree () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-6" in
+  let out = Netlist.signal nl "PAR" in
+  Cells.parity_tree nl ~inputs:(List.init 8 (fun _ -> Netlist.conn a)) out;
+  (* 8 inputs reduce through 7 XORs plus the output buffer *)
+  Alcotest.(check int) "7 xors" 7 (prim_count nl "2 XOR");
+  Alcotest.(check int) "one buffer" 1 (prim_count nl "BUF");
+  let ev = Eval.create nl in
+  Eval.run ev;
+  (* 3 levels of 1.5/3.5 xor: changes [37.5 + 3*1.5, wrap + 3*3.5] *)
+  let m = Waveform.materialize (Eval.value ev out) in
+  Alcotest.(check bool) "changing after input changes" true
+    (Tvalue.is_changing (Waveform.value_at m (Timebase.ps_of_ns 45.)))
+
+let test_adder () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-6" in
+  let b = Netlist.signal nl "B .S0-6" in
+  let cin = Netlist.signal nl "CIN .S0-6" in
+  let sum = Netlist.signal nl "SUM" in
+  let cout = Netlist.signal nl "COUT" in
+  Cells.adder nl ~size:16 ~a:(Netlist.conn a) ~b:(Netlist.conn b)
+    ~carry_in:(Netlist.conn cin) ~sum ~carry_out:cout ();
+  Alcotest.(check int) "two chg paths" 2 (prim_count nl "3 CHG");
+  Alcotest.(check int) "sum width" 16 (Netlist.net nl sum).Netlist.n_width;
+  let ev = Eval.create nl in
+  Eval.run ev;
+  (* carry settles before the sum *)
+  let settle net =
+    Waveform.intervals_where (fun v -> not (Tvalue.is_stable v)) (Eval.value ev net)
+    |> List.fold_left (fun acc (s, w) -> max acc (s + w)) 0
+  in
+  Alcotest.(check bool) "carry earlier than sum" true (settle cout < settle sum)
+
+let test_counter_protected () =
+  (* the built-in CORR delay protects the feedback against the clock
+     skew: no advice, no violations *)
+  let nl = make_nl () in
+  let ck = Netlist.signal nl "CK .P7-8" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let en = Netlist.signal nl "EN .S0-8" in
+  let pc = Netlist.signal nl "PC" in
+  Cells.counter nl ~clock:(Netlist.conn ck) ~enable:(Netlist.conn en) pc;
+  let report = Verifier.verify nl in
+  Alcotest.(check int) "no violations" 0 (List.length report.Verifier.r_violations);
+  Alcotest.(check int) "no corr advice" 0 (List.length (Path_analysis.Corr.advise nl))
+
+let test_counter_unprotected_flagged () =
+  let nl = make_nl () in
+  (* a non-precision clock: +-5 ns of skew, far more than the counter's
+     minimum feedback delay can cover without its CORR element *)
+  let ck = Netlist.signal nl "CK .C7-8" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let en = Netlist.signal nl "EN .S0-8" in
+  let pc = Netlist.signal nl "PC" in
+  Cells.counter nl ~corr_ns:0.1 ~clock:(Netlist.conn ck) ~enable:(Netlist.conn en) pc;
+  match Path_analysis.Corr.advise nl with
+  | [ a ] ->
+    Alcotest.(check int) "10 ns clock spread" 10_000 a.Path_analysis.Corr.a_clock_spread;
+    (* required = 10 + 1.5 - (1.5 + 0.1 + 2.0) *)
+    Alcotest.(check int) "required delay" 7_900 a.Path_analysis.Corr.a_required_delay
+  | l -> Alcotest.failf "expected one advice, got %d" (List.length l)
+
+let test_shift_register () =
+  let nl = make_nl () in
+  let ck = Netlist.signal nl "CK .P7-8" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let d = Netlist.signal nl "D .S0-7.6" in
+  let out = Netlist.signal nl "TAP" in
+  Cells.shift_register nl ~stages:4 ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) out;
+  Alcotest.(check int) "four registers" 4 (prim_count nl "REG");
+  Alcotest.(check int) "four checkers" 4 (prim_count nl "SETUP HOLD CHK");
+  Alcotest.(check int) "three corr delays" 3 (prim_count nl "BUF");
+  let report = Verifier.verify nl in
+  Alcotest.(check int) "clean" 0 (List.length report.Verifier.r_violations)
+
+let test_decoder () =
+  let nl = make_nl () in
+  let sel = Netlist.signal nl "OP .S0-6" in
+  let out = Netlist.signal nl "LINES" in
+  Cells.decoder nl ~select:(Netlist.conn sel) out;
+  Alcotest.(check int) "one chg" 1 (prim_count nl "1 CHG")
+
+let suite =
+  [
+    Alcotest.test_case "register chip" `Quick test_register_chip;
+    Alcotest.test_case "ram chip" `Quick test_ram_chip;
+    Alcotest.test_case "ram checker polarity" `Quick test_ram_checker_polarity;
+    Alcotest.test_case "mux timing" `Quick test_mux_timing;
+    Alcotest.test_case "latch chip" `Quick test_latch_chip;
+    Alcotest.test_case "internal nets zero wire" `Quick test_internal_nets_zero_wire;
+    Alcotest.test_case "internal nets unique" `Quick test_internal_nets_unique;
+    Alcotest.test_case "alu latch" `Quick test_alu_latch;
+    Alcotest.test_case "parity tree" `Quick test_parity_tree;
+    Alcotest.test_case "adder" `Quick test_adder;
+    Alcotest.test_case "counter protected" `Quick test_counter_protected;
+    Alcotest.test_case "counter unprotected flagged" `Quick test_counter_unprotected_flagged;
+    Alcotest.test_case "shift register" `Quick test_shift_register;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+  ]

@@ -1,0 +1,156 @@
+open Scald_core
+module Circuits = Scald_cells.Circuits
+
+(* Regression tests pinning the thesis's published results. *)
+
+let test_fig_2_5_adr_line () =
+  (* Figure 3-10: ADR<0:3> stable at 0, changing 0.5, stable 5.5-25.5,
+     changing 25.5-30.5, stable for the rest of the cycle. *)
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  let wf = Eval.value report.Verifier.r_eval c.Circuits.rf_adr in
+  let expected =
+    Waveform.of_intervals ~period:50_000 ~inside:Tvalue.Change ~outside:Tvalue.Stable
+      [ (500, 5_500); (25_500, 30_500) ]
+  in
+  Alcotest.(check bool) "exact Figure 3-10 line" true (Waveform.equal wf expected)
+
+let test_fig_3_11_errors () =
+  (* Figure 3-11: exactly two set-up violations with the published
+     numbers. *)
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  let setups = Verifier.violations_of_kind Check.Setup_violation report in
+  Alcotest.(check int) "two violations total" 2 (List.length report.Verifier.r_violations);
+  Alcotest.(check int) "both are set-up" 2 (List.length setups);
+  let find_at t = List.find_opt (fun (v : Check.t) -> v.Check.v_at = Some t) setups in
+  (match find_at 11_500 with
+  | Some v ->
+    Alcotest.(check int) "required 3.5" 3_500 v.Check.v_required;
+    Alcotest.(check (option int)) "missed by the full 3.5" (Some 0) v.Check.v_actual
+  | None -> Alcotest.fail "no violation at 11.5 ns");
+  match find_at 49_000 with
+  | Some v ->
+    Alcotest.(check int) "required 2.5" 2_500 v.Check.v_required;
+    Alcotest.(check (option int)) "margin 1.5 (missed by 1.0)" (Some 1_500) v.Check.v_actual
+  | None -> Alcotest.fail "no violation at 49.0 ns"
+
+let test_fig_2_5_write_enable_hazard_free () =
+  (* The &H directive on the write-enable gate checks WRITE is stable
+     while the clock is asserted: the example design satisfies it. *)
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  Alcotest.(check int) "no hazards" 0
+    (List.length (Verifier.violations_of_kind Check.Hazard report))
+
+let test_fig_2_5_size_parameter () =
+  let c = Circuits.register_file_example ~size:16 () in
+  let nl = c.Circuits.rf_netlist in
+  Alcotest.(check int) "ram out width" 16 (Netlist.net nl c.Circuits.rf_ram_out).Netlist.n_width
+
+let test_fig_1_5 () =
+  let hazard_count at =
+    let gc = Circuits.gated_clock_hazard ~enable_stable_at:at () in
+    List.length
+      (Verifier.violations_of_kind Check.Hazard (Verifier.verify gc.Circuits.gc_netlist))
+  in
+  Alcotest.(check int) "broken has the hazard" 1 (hazard_count 2.5);
+  Alcotest.(check int) "fixed is clean" 0 (hazard_count 1.5)
+
+let test_fig_3_12_clean () =
+  let ar = Circuits.arithmetic_example () in
+  let report = Verifier.verify ar.Circuits.ar_netlist in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       report.Verifier.r_violations)
+
+let test_fig_4_1_false_error_and_corr () =
+  let holds corr =
+    let fb = Circuits.correlation_example ~corr_delay_ns:corr in
+    List.length
+      (Verifier.violations_of_kind Check.Hold_violation
+         (Verifier.verify fb.Circuits.fb_netlist))
+  in
+  Alcotest.(check int) "false hold error without CORR" 1 (holds 0.);
+  Alcotest.(check int) "suppressed with CORR = skew" 0 (holds 4.);
+  Alcotest.(check int) "larger CORR also fine" 0 (holds 6.)
+
+let test_bypass_chain () =
+  let ch = Circuits.bypass_chain ~stages:3 in
+  Alcotest.(check int) "three controls" 3 (List.length ch.Circuits.ch_controls);
+  let cases = Case_analysis.complete ch.Circuits.ch_controls in
+  let report = Verifier.verify ~cases ch.Circuits.ch_netlist in
+  Alcotest.(check (float 0.01)) "true delay 90 ns" 90.0
+    (Circuits.chain_path_ns report ch);
+  Alcotest.(check int) "8 cases evaluated" 8 (List.length report.Verifier.r_cases)
+
+let test_verifier_report_shape () =
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  Alcotest.(check bool) "converged" true report.Verifier.r_converged;
+  Alcotest.(check bool) "not clean" false (Verifier.clean report);
+  Alcotest.(check (list string)) "CS on the cross reference" [ "CS" ]
+    report.Verifier.r_unasserted;
+  Alcotest.(check bool) "events counted" true (report.Verifier.r_events > 0)
+
+let test_verifier_dedups_across_cases () =
+  (* The same violation found in two cases is reported once. *)
+  let c = Circuits.register_file_example () in
+  let cases = [ [ ("CS", Tvalue.V0) ]; [ ("CS", Tvalue.V1) ] ] in
+  let report = Verifier.verify ~cases c.Circuits.rf_netlist in
+  Alcotest.(check int) "still two violations" 2 (List.length report.Verifier.r_violations)
+
+let test_multi_rate_lcm_period () =
+  (* §2.2: a 30 ns instruction unit and a 15 ns execution unit verify at
+     the 30 ns least common multiple; the faster clock simply has two
+     pulses per verified cycle. *)
+  let tb = Timebase.make ~period_ns:30.0 ~clock_unit_ns:2.5 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  (* instruction-unit clock: one pulse; execution-unit clock: two *)
+  let ck_slow = Netlist.signal nl "ICK .P(0,0)10-11" in
+  let ck_fast = Netlist.signal nl "ECK .P(0,0)4-5,10-11" in
+  let d_slow = Netlist.signal nl "ID .S2-10.8" in
+  let d_fast = Netlist.signal nl "ED .S0-3" in
+  let q1 = Netlist.signal nl "IQ" and q2 = Netlist.signal nl "EQ" in
+  Scald_cells.Cells.register nl ~name:"I REG" ~data:(Netlist.conn d_slow)
+    ~clock:(Netlist.conn ck_slow) q1;
+  Scald_cells.Cells.register nl ~name:"E REG" ~data:(Netlist.conn d_fast)
+    ~clock:(Netlist.conn ck_fast) q2;
+  let report = Verifier.verify nl in
+  (* the fast register is clocked twice per verified cycle *)
+  let fast_windows =
+    Waveform.rising_windows (Eval.value report.Verifier.r_eval ck_fast)
+  in
+  Alcotest.(check int) "two rising edges in the LCM period" 2 (List.length fast_windows);
+  (* ED .S0-3 is stable only 0..7.5 ns: the fast edges at 10 and 25 ns
+     both see changing data, the slow register's window is covered *)
+  let fast_violations =
+    List.filter
+      (fun (v : Check.t) -> v.Check.v_signal = "ED .S0-3")
+      report.Verifier.r_violations
+  in
+  Alcotest.(check bool) "second fast edge catches unstable data" true
+    (fast_violations <> []);
+  let slow_violations =
+    List.filter
+      (fun (v : Check.t) -> v.Check.v_signal = "ID .S2-10.8")
+      report.Verifier.r_violations
+  in
+  Alcotest.(check (list string)) "slow register clean" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v) slow_violations)
+
+let suite =
+  [
+    Alcotest.test_case "fig 2-5 ADR line (Figure 3-10)" `Quick test_fig_2_5_adr_line;
+    Alcotest.test_case "fig 3-11 errors" `Quick test_fig_3_11_errors;
+    Alcotest.test_case "fig 2-5 write enable hazard free" `Quick
+      test_fig_2_5_write_enable_hazard_free;
+    Alcotest.test_case "fig 2-5 size parameter" `Quick test_fig_2_5_size_parameter;
+    Alcotest.test_case "fig 1-5 gated clock" `Quick test_fig_1_5;
+    Alcotest.test_case "fig 3-12 arithmetic clean" `Quick test_fig_3_12_clean;
+    Alcotest.test_case "fig 4-1 correlation + CORR" `Quick test_fig_4_1_false_error_and_corr;
+    Alcotest.test_case "bypass chain" `Quick test_bypass_chain;
+    Alcotest.test_case "verifier report shape" `Quick test_verifier_report_shape;
+    Alcotest.test_case "verifier dedups across cases" `Quick test_verifier_dedups_across_cases;
+    Alcotest.test_case "multi-rate LCM period" `Quick test_multi_rate_lcm_period;
+  ]

@@ -1,0 +1,33 @@
+open Scald_core
+
+let test_make () =
+  let d = Delay.of_ns 1.0 3.8 in
+  Alcotest.(check int) "dmin" 1000 d.Delay.dmin;
+  Alcotest.(check int) "dmax" 3800 d.Delay.dmax;
+  Alcotest.(check int) "spread" 2800 (Delay.spread d)
+
+let test_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Delay.make: need 0 <= dmin <= dmax")
+    (fun () -> ignore (Delay.make (-1) 0));
+  Alcotest.check_raises "inverted" (Invalid_argument "Delay.make: need 0 <= dmin <= dmax")
+    (fun () -> ignore (Delay.make 5 3))
+
+let test_add () =
+  let d = Delay.add (Delay.of_ns 1.0 2.0) (Delay.of_ns 0.5 1.5) in
+  Alcotest.(check bool) "series" true (Delay.equal d (Delay.of_ns 1.5 3.5))
+
+let test_zero () =
+  Alcotest.(check bool) "zero" true (Delay.equal Delay.zero (Delay.make 0 0));
+  Alcotest.(check int) "zero spread" 0 (Delay.spread Delay.zero)
+
+let test_pp () =
+  Alcotest.(check string) "format" "1.0/3.8" (Format.asprintf "%a" Delay.pp (Delay.of_ns 1.0 3.8))
+
+let suite =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "zero" `Quick test_zero;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

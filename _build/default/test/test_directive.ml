@@ -1,0 +1,47 @@
+open Scald_core
+
+let test_parse () =
+  (match Directive.of_string "HZZW" with
+  | Ok [ Directive.H; Directive.Z; Directive.Z; Directive.W ] -> ()
+  | Ok _ -> Alcotest.fail "wrong letters"
+  | Error e -> Alcotest.fail e);
+  match Directive.of_string "&H" with
+  | Ok [ Directive.H ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "leading & should be accepted"
+
+let test_empty () =
+  match Directive.of_string "" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty directive string"
+
+let test_bad () =
+  match Directive.of_string "HQ" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "Q is not a directive letter"
+
+let test_roundtrip () =
+  let d = Directive.of_string_exn "HZZW" in
+  Alcotest.(check string) "to_string" "HZZW" (Directive.to_string d)
+
+let test_semantics () =
+  (* §2.6: E no action; W zero wire; Z zero gate+wire; A hazard check;
+     H = Z + A. *)
+  let check l (zw, zg, hz) =
+    Alcotest.(check bool) "zero wire" zw (Directive.zero_wire l);
+    Alcotest.(check bool) "zero gate" zg (Directive.zero_gate l);
+    Alcotest.(check bool) "hazard" hz (Directive.check_hazard l)
+  in
+  check Directive.E (false, false, false);
+  check Directive.W (true, false, false);
+  check Directive.Z (true, true, false);
+  check Directive.A (false, false, true);
+  check Directive.H (true, true, true)
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "bad letter" `Quick test_bad;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "semantics" `Quick test_semantics;
+  ]

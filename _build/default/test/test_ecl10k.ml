@@ -1,0 +1,144 @@
+(* The extended ECL-10K component library. *)
+
+open Scald_core
+module E = Scald_cells.Ecl10k
+
+let make_nl () =
+  Netlist.create
+    (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+    ~default_wire_delay:Delay.zero
+
+let prim_count nl mnemonic =
+  let n = ref 0 in
+  Netlist.iter_insts nl (fun i ->
+      if Primitive.mnemonic i.Netlist.i_prim = mnemonic then incr n);
+  !n
+
+let gnd nl =
+  let g = Netlist.signal nl "GND" in
+  (match (Netlist.net nl g).Netlist.n_driver with
+  | None -> ignore (Netlist.add nl (Primitive.Const Tvalue.V0) ~inputs:[] ~output:(Some g))
+  | Some _ -> ());
+  Netlist.conn g
+
+let test_dff_10131 () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-6" in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let q = Netlist.signal nl "Q" in
+  E.dff_10131 nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) ~set:(gnd nl)
+    ~reset:(gnd nl) q;
+  Alcotest.(check int) "reg rs" 1 (prim_count nl "REG RS");
+  Alcotest.(check int) "checker" 1 (prim_count nl "SETUP HOLD CHK");
+  Alcotest.(check int) "pulse width" 1 (prim_count nl "MIN PULSE WIDTH");
+  let report = Verifier.verify nl in
+  Alcotest.(check (list string)) "clean with inactive set/reset" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       report.Verifier.r_violations)
+
+let test_dff_narrow_clock_flagged () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-6" in
+  (* a 2 ns clock pulse against the 3.3 ns requirement *)
+  let ck = Netlist.signal nl "CK .P(0,0)2+2.0" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let q = Netlist.signal nl "Q" in
+  E.dff_10131 nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) ~set:(gnd nl)
+    ~reset:(gnd nl) q;
+  let report = Verifier.verify nl in
+  Alcotest.(check bool) "runt clock flagged" true
+    (Verifier.violations_of_kind Check.Min_high_width report <> [])
+
+let test_mux8_paths () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-8" in
+  let s = Netlist.signal nl "S .S2-6" in
+  let e = Netlist.signal nl "EN .S0-8" in
+  let q = Netlist.signal nl "Q" in
+  E.mux8_10164 nl ~data:(Netlist.conn d) ~select:(Netlist.conn s)
+    ~enable:(Netlist.conn e) q;
+  let ev = Eval.create nl in
+  Eval.run ev;
+  (* the select changes 37.5..12.5; the output through the 3.0/6.5 path *)
+  let m = Waveform.materialize (Eval.value ev q) in
+  Alcotest.check (Alcotest.testable Tvalue.pp Tvalue.equal) "changing via select path"
+    Tvalue.Change
+    (Waveform.value_at m (Timebase.ps_of_ns 41.))
+
+let test_shift_10141 () =
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-7.6" in
+  let ck = Netlist.signal nl "CK .P7-8" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let q = Netlist.signal nl "Q" in
+  E.shift_10141 nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) q;
+  Alcotest.(check int) "four stages" 4 (prim_count nl "REG");
+  Alcotest.(check int) "four checkers" 4 (prim_count nl "SETUP HOLD CHK");
+  let report = Verifier.verify nl in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       report.Verifier.r_violations);
+  Alcotest.(check int) "no corr advice needed" 0
+    (List.length (Path_analysis.Corr.advise nl))
+
+let test_counter_10136 () =
+  let nl = make_nl () in
+  let ck = Netlist.signal nl "CK .P7-8" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let en = Netlist.signal nl "EN .S0-8" in
+  let q = Netlist.signal nl "CNT" in
+  E.counter_10136 nl ~clock:(Netlist.conn ck) ~enable:(Netlist.conn en) q;
+  let report = Verifier.verify nl in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       report.Verifier.r_violations)
+
+let test_small_blocks () =
+  let nl = make_nl () in
+  let s = Netlist.signal nl "S .S0-6" in
+  let e = Netlist.signal nl "EN .S0-8" in
+  let dec = Netlist.signal nl "DEC" in
+  E.decoder_10162 nl ~select:(Netlist.conn s) ~enable:(Netlist.conn e) dec;
+  let par = Netlist.signal nl "PAR" in
+  E.parity_10160 nl ~data:(Netlist.conn s) par;
+  let g = Netlist.signal nl "G .S0-6" in
+  let p = Netlist.signal nl "P .S0-6" in
+  let cin = Netlist.signal nl "CIN .S0-6" in
+  let cout = Netlist.signal nl "COUT" in
+  E.carry_10179 nl ~g:(Netlist.conn g) ~p:(Netlist.conn p) ~carry_in:(Netlist.conn cin)
+    cout;
+  let ev = Eval.create nl in
+  Eval.run ev;
+  (* the carry block is the fastest path: it settles first *)
+  let settle net =
+    Waveform.intervals_where (fun v -> not (Tvalue.is_stable v)) (Eval.value ev net)
+    |> List.fold_left (fun acc (st, w) -> max acc (st + w)) 0
+  in
+  Alcotest.(check bool) "carry faster than parity" true (settle cout < settle par);
+  Alcotest.(check bool) "decoder between" true
+    (settle dec <= settle par && settle dec >= settle cout)
+
+let test_latch_10133 () =
+  let nl = make_nl () in
+  (* stable through the closing window plus hold *)
+  let d = Netlist.signal nl "D .S0-4.5" in
+  let e = Netlist.signal nl "E .P2-4" in
+  Netlist.set_wire_delay nl e Delay.zero;
+  let q = Netlist.signal nl "Q" in
+  E.latch_10133 nl ~data:(Netlist.conn d) ~enable:(Netlist.conn e) q;
+  let report = Verifier.verify nl in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       report.Verifier.r_violations)
+
+let suite =
+  [
+    Alcotest.test_case "dff 10131" `Quick test_dff_10131;
+    Alcotest.test_case "dff narrow clock flagged" `Quick test_dff_narrow_clock_flagged;
+    Alcotest.test_case "mux8 paths" `Quick test_mux8_paths;
+    Alcotest.test_case "shift 10141" `Quick test_shift_10141;
+    Alcotest.test_case "counter 10136" `Quick test_counter_10136;
+    Alcotest.test_case "small blocks" `Quick test_small_blocks;
+    Alcotest.test_case "latch 10133" `Quick test_latch_10133;
+  ]

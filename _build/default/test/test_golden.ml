@@ -1,0 +1,73 @@
+(* Golden-output regression: the full rendered verification of the
+   thesis's Figure 2-5 example, compared against a committed snapshot.
+   Any change to waveform semantics, checker margins, listing formats or
+   slack computation shows up here as a diff. *)
+
+open Scald_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Chip-internal net names carry a process-global uniquifier ("$7");
+   normalize it so the snapshot does not depend on how many cells other
+   tests created first. *)
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '$' then begin
+      Buffer.add_string buf "$N";
+      let rec skip j = if j < n && s.[j] >= '0' && s.[j] <= '9' then skip (j + 1) else j in
+      go (skip (i + 1))
+    end
+    else if s.[i] = ' ' then begin
+      (* column padding depends on the uniquifier's digit count:
+         collapse space runs *)
+      Buffer.add_char buf ' ';
+      let rec skip j = if j < n && s.[j] = ' ' then skip (j + 1) else j in
+      go (skip i)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let render () =
+  let c = Scald_cells.Circuits.register_file_example () in
+  let report = Verifier.verify c.Scald_cells.Circuits.rf_netlist in
+  let ev = report.Verifier.r_eval in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@.@.%a@." Report.pp_summary ev Report.pp_violations
+    report.Verifier.r_violations;
+  List.iter
+    (fun v -> Format.fprintf ppf "@.%a@." (fun ppf -> Report.pp_violation_with_values ppf ev) v)
+    report.Verifier.r_violations;
+  Format.fprintf ppf "@.%a@." Report.pp_cross_reference (Eval.netlist ev);
+  Format.fprintf ppf "@.%a@." Slack.pp (Slack.compute ev);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_register_file_snapshot () =
+  let golden = normalize (read_file "golden/register_file.txt") in
+  let actual = normalize (render ()) in
+  if golden <> actual then begin
+    (* print a first-difference hint before failing *)
+    let n = min (String.length golden) (String.length actual) in
+    let rec first_diff i = if i < n && golden.[i] = actual.[i] then first_diff (i + 1) else i in
+    let i = first_diff 0 in
+    let ctx s =
+      String.sub s (max 0 (i - 60)) (min 120 (String.length s - max 0 (i - 60)))
+    in
+    Alcotest.failf "golden mismatch at byte %d:\n--- golden ---\n%s\n--- actual ---\n%s" i
+      (ctx golden) (ctx actual)
+  end
+
+let suite =
+  [ Alcotest.test_case "register-file report snapshot" `Quick test_register_file_snapshot ]

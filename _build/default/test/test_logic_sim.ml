@@ -1,0 +1,287 @@
+(* Tests for the min/max logic-simulator baseline (§1.4.1.1). *)
+
+let v = Alcotest.testable Logic_sim.pp_value Logic_sim.value_equal
+
+let simple_gate kind =
+  let c = Logic_sim.create () in
+  let a = Logic_sim.add_net c "a" in
+  let b = Logic_sim.add_net c "b" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_gate c kind ~dmin:10 ~dmax:10 ~inputs:[ a; b ] ~output:q;
+  (c, a, b, q)
+
+let drive c a b q va vb =
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:[ (a, [ (0, va) ]); (b, [ (0, vb) ]) ]
+      ~horizon:100
+  in
+  r.Logic_sim.final.(q)
+
+let test_and_table () =
+  let c, a, b, q = simple_gate Logic_sim.And in
+  Alcotest.check v "1 and 1" Logic_sim.L1 (drive c a b q Logic_sim.L1 Logic_sim.L1);
+  Alcotest.check v "1 and 0" Logic_sim.L0 (drive c a b q Logic_sim.L1 Logic_sim.L0);
+  Alcotest.check v "0 and X" Logic_sim.L0 (drive c a b q Logic_sim.L0 Logic_sim.LX);
+  Alcotest.check v "1 and X" Logic_sim.LX (drive c a b q Logic_sim.L1 Logic_sim.LX)
+
+let test_xor_table () =
+  let c, a, b, q = simple_gate Logic_sim.Xor in
+  Alcotest.check v "1 xor 1" Logic_sim.L0 (drive c a b q Logic_sim.L1 Logic_sim.L1);
+  Alcotest.check v "1 xor 0" Logic_sim.L1 (drive c a b q Logic_sim.L1 Logic_sim.L0);
+  Alcotest.check v "X xor 1" Logic_sim.LX (drive c a b q Logic_sim.LX Logic_sim.L1)
+
+let test_nor_not () =
+  let c, a, b, q = simple_gate Logic_sim.Nor in
+  Alcotest.check v "0 nor 0" Logic_sim.L1 (drive c a b q Logic_sim.L0 Logic_sim.L0);
+  let c2 = Logic_sim.create () in
+  let x = Logic_sim.add_net c2 "x" and y = Logic_sim.add_net c2 "y" in
+  Logic_sim.add_gate c2 Logic_sim.Not ~dmin:5 ~dmax:5 ~inputs:[ x ] ~output:y;
+  let r = Logic_sim.simulate c2 ~stimuli:[ (x, [ (0, Logic_sim.L0) ]) ] ~horizon:50 in
+  Alcotest.check v "not 0" Logic_sim.L1 r.Logic_sim.final.(y)
+
+let test_transitional_values () =
+  (* A gate with dmin<dmax shows U (rising) between the two. *)
+  let c = Logic_sim.create () in
+  let a = Logic_sim.add_net c "a" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_gate c Logic_sim.Buf ~dmin:10 ~dmax:20 ~inputs:[ a ] ~output:q;
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:[ (a, [ (0, Logic_sim.L0); (100, Logic_sim.L1) ]) ]
+      ~horizon:200
+  in
+  (* trace on q: X->0 (at 20), 0->U (at 110), U->1 (at 120) *)
+  let trace = r.Logic_sim.traces.(q) in
+  Alcotest.(check bool) "rising marker present" true
+    (List.exists (fun (_, x) -> Logic_sim.value_equal x Logic_sim.LU) trace);
+  Alcotest.check v "final one" Logic_sim.L1 r.Logic_sim.final.(q)
+
+let test_spike_marker () =
+  (* Two changes in flight: the output may spike (E). *)
+  let c = Logic_sim.create () in
+  let a = Logic_sim.add_net c "a" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_gate c Logic_sim.Buf ~dmin:10 ~dmax:30 ~inputs:[ a ] ~output:q;
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:[ (a, [ (0, Logic_sim.L0); (100, Logic_sim.L1); (105, Logic_sim.L0) ]) ]
+      ~horizon:300
+  in
+  Alcotest.(check bool) "potential spike flagged" true
+    (List.exists (fun (_, x) -> Logic_sim.value_equal x Logic_sim.LE) r.Logic_sim.traces.(q))
+
+let test_fig_1_5_runt_pulse () =
+  (* The thesis's Figure 1-5, concretely: a 5 ns runt on the gated
+     clock. *)
+  let c = Logic_sim.create () in
+  let clock = Logic_sim.add_net c "CLOCK" in
+  let enable = Logic_sim.add_net c "ENABLE" in
+  let q = Logic_sim.add_net c "REG CLOCK" in
+  Logic_sim.add_gate c Logic_sim.And ~dmin:0 ~dmax:0 ~inputs:[ clock; enable ] ~output:q;
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:
+        [
+          (clock, [ (0, Logic_sim.L0); (200, Logic_sim.L1); (300, Logic_sim.L0) ]);
+          (enable, [ (0, Logic_sim.L1); (250, Logic_sim.L0) ]);
+        ]
+      ~horizon:500
+  in
+  (match Logic_sim.pulses r.Logic_sim.traces.(q) ~at_least:Logic_sim.L1 with
+  | [ (start, width) ] ->
+    Alcotest.(check int) "starts at 20 ns" 200 start;
+    Alcotest.(check int) "5 ns wide" 50 width
+  | l -> Alcotest.failf "expected one pulse, got %d" (List.length l));
+  Alcotest.(check int) "one runt below 6 ns" 1
+    (Logic_sim.min_pulse_violations r.Logic_sim.traces.(q) ~level:Logic_sim.L1
+       ~min_width:60 ~horizon:500)
+
+let test_stimulus_on_driven_net_rejected () =
+  let c, a, _, q = simple_gate Logic_sim.And in
+  ignore a;
+  match Logic_sim.simulate c ~stimuli:[ (q, [ (0, Logic_sim.L1) ]) ] ~horizon:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "driving a gate output should be rejected"
+
+let test_exhaustive_small () =
+  (* 2-input AND: 4 Gray-coded vectors. *)
+  let c, a, b, q = simple_gate Logic_sim.And in
+  let ex = Logic_sim.verify_exhaustive c ~inputs:[ a; b ] ~outputs:[ q ] ~settle:100 in
+  Alcotest.(check int) "4 vectors" 4 ex.Logic_sim.vectors_simulated;
+  Alcotest.(check bool) "events happened" true (ex.Logic_sim.total_events > 0);
+  Alcotest.(check bool) "settles within the gate delay" true
+    (ex.Logic_sim.settle_max >= 10 && ex.Logic_sim.settle_max <= 20)
+
+let test_exhaustive_grows_exponentially () =
+  let cone n =
+    let c = Logic_sim.create () in
+    let ins = List.init n (fun i -> Logic_sim.add_net c (Printf.sprintf "i%d" i)) in
+    let rec reduce = function
+      | [ x ] -> x
+      | x :: y :: rest ->
+        let q = Logic_sim.add_net c "t" in
+        Logic_sim.add_gate c Logic_sim.Xor ~dmin:5 ~dmax:10 ~inputs:[ x; y ] ~output:q;
+        reduce (rest @ [ q ])
+      | [] -> assert false
+    in
+    let out = reduce ins in
+    (c, ins, out)
+  in
+  let cost n =
+    let c, ins, out = cone n in
+    (Logic_sim.verify_exhaustive c ~inputs:ins ~outputs:[ out ] ~settle:100)
+      .Logic_sim.vectors_simulated
+  in
+  Alcotest.(check int) "2^4" 16 (cost 4);
+  Alcotest.(check int) "2^8" 256 (cost 8)
+
+(* Cross-validation: the Timing Verifier's worst-case settle time bounds
+   what the logic simulator observes on any vector. *)
+let test_tv_bounds_simulation () =
+  let open Scald_core in
+  (* chain of 3 xors, both worlds *)
+  let c = Logic_sim.create () in
+  let i0 = Logic_sim.add_net c "i0" and i1 = Logic_sim.add_net c "i1" in
+  let i2 = Logic_sim.add_net c "i2" and i3 = Logic_sim.add_net c "i3" in
+  let t0 = Logic_sim.add_net c "t0" and t1 = Logic_sim.add_net c "t1" in
+  let out = Logic_sim.add_net c "out" in
+  Logic_sim.add_gate c Logic_sim.Xor ~dmin:10 ~dmax:20 ~inputs:[ i0; i1 ] ~output:t0;
+  Logic_sim.add_gate c Logic_sim.Xor ~dmin:10 ~dmax:20 ~inputs:[ i2; i3 ] ~output:t1;
+  Logic_sim.add_gate c Logic_sim.Xor ~dmin:10 ~dmax:20 ~inputs:[ t0; t1 ] ~output:out;
+  let ex =
+    Logic_sim.verify_exhaustive c ~inputs:[ i0; i1; i2; i3 ] ~outputs:[ out ] ~settle:200
+  in
+  (* TV: same cone, inputs changing at time 0 *)
+  let tb = Timebase.make ~period_ns:100.0 ~clock_unit_ns:10.0 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let inp i = Netlist.signal nl (Printf.sprintf "i%d .S1-9" i) in
+  let a = inp 0 and b = inp 1 and c2 = inp 2 and d = inp 3 in
+  let xor2 x y out_name =
+    let q = Netlist.signal nl out_name in
+    ignore
+      (Netlist.add nl
+         (Primitive.Gate
+            { fn = Primitive.Xor; n_inputs = 2; invert = false; delay = Delay.of_ns 1.0 2.0 })
+         ~inputs:[ Netlist.conn x; Netlist.conn y ]
+         ~output:(Some q));
+    q
+  in
+  let u = xor2 a b "t0" in
+  let w = xor2 c2 d "t1" in
+  let o = xor2 u w "out" in
+  let ev = Eval.create nl in
+  Eval.run ev;
+  (* TV: out changing ends at 10 (input change end) + 2 levels * 2 ns *)
+  let wf = Eval.value ev o in
+  let change_end =
+    Waveform.intervals_where (fun v -> not (Tvalue.is_stable v)) wf
+    |> List.fold_left (fun acc (s, w2) -> max acc (s + w2)) 0
+  in
+  let tv_settle_ns = Timebase.ns_of_ps change_end -. 10. in
+  let sim_settle_ns = float_of_int ex.Logic_sim.settle_max /. 10. in
+  Alcotest.(check bool)
+    (Printf.sprintf "tv bound %.1f >= sim %.1f" tv_settle_ns sim_settle_ns)
+    true
+    (tv_settle_ns +. 1e-6 >= sim_settle_ns)
+
+let test_register_element () =
+  let c = Logic_sim.create () in
+  let d = Logic_sim.add_net c "d" in
+  let ck = Logic_sim.add_net c "ck" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_register c ~dmin:10 ~dmax:10 ~data:d ~clock:ck ~output:q ();
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:
+        [
+          (d, [ (0, Logic_sim.L1); (150, Logic_sim.L0) ]);
+          (ck, [ (0, Logic_sim.L0); (100, Logic_sim.L1); (200, Logic_sim.L0);
+                 (300, Logic_sim.L1) ]);
+        ]
+      ~horizon:400
+  in
+  (* first edge at 100 samples 1; second edge at 300 samples 0 *)
+  let at t =
+    List.fold_left (fun acc (tt, v) -> if tt <= t then v else acc) Logic_sim.LX
+      r.Logic_sim.traces.(q)
+  in
+  Alcotest.check v "after first edge" Logic_sim.L1 (at 150);
+  Alcotest.check v "after second edge" Logic_sim.L0 (at 350)
+
+let test_register_holds_between_edges () =
+  let c = Logic_sim.create () in
+  let d = Logic_sim.add_net c "d" in
+  let ck = Logic_sim.add_net c "ck" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_register c ~dmin:5 ~dmax:5 ~data:d ~clock:ck ~output:q ();
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:
+        [
+          (d, [ (0, Logic_sim.L1); (120, Logic_sim.L0); (140, Logic_sim.L1) ]);
+          (ck, [ (0, Logic_sim.L0); (100, Logic_sim.L1) ]);
+        ]
+      ~horizon:300
+  in
+  (* data wiggles after the edge: the output must not follow *)
+  Alcotest.check v "held" Logic_sim.L1 r.Logic_sim.final.(q);
+  Alcotest.(check int) "only one output change" 1 (List.length r.Logic_sim.traces.(q))
+
+let test_register_x_clock () =
+  let c = Logic_sim.create () in
+  let d = Logic_sim.add_net c "d" in
+  let ck = Logic_sim.add_net c "ck" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_register c ~dmin:5 ~dmax:5 ~data:d ~clock:ck ~output:q ();
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:
+        [ (d, [ (0, Logic_sim.L1) ]); (ck, [ (0, Logic_sim.L0); (100, Logic_sim.LX) ]) ]
+      ~horizon:200
+  in
+  Alcotest.check v "uncertain clocking -> X" Logic_sim.LX r.Logic_sim.final.(q)
+
+let test_latch_element () =
+  let c = Logic_sim.create () in
+  let d = Logic_sim.add_net c "d" in
+  let e = Logic_sim.add_net c "e" in
+  let q = Logic_sim.add_net c "q" in
+  Logic_sim.add_latch c ~dmin:5 ~dmax:5 ~data:d ~enable:e ~output:q ();
+  let r =
+    Logic_sim.simulate c
+      ~stimuli:
+        [
+          (d, [ (0, Logic_sim.L0); (120, Logic_sim.L1); (250, Logic_sim.L0) ]);
+          (e, [ (0, Logic_sim.L1); (200, Logic_sim.L0) ]);
+        ]
+      ~horizon:400
+  in
+  let at t =
+    List.fold_left (fun acc (tt, v) -> if tt <= t then v else acc) Logic_sim.LX
+      r.Logic_sim.traces.(q)
+  in
+  (* transparent: follows d while e=1 *)
+  Alcotest.check v "follows while open" Logic_sim.L1 (at 150);
+  (* closed at 200 with d=1 captured; d's later fall must not pass *)
+  Alcotest.check v "holds after close" Logic_sim.L1 (at 300)
+
+let suite =
+  [
+    Alcotest.test_case "and table" `Quick test_and_table;
+    Alcotest.test_case "xor table" `Quick test_xor_table;
+    Alcotest.test_case "nor / not" `Quick test_nor_not;
+    Alcotest.test_case "transitional values" `Quick test_transitional_values;
+    Alcotest.test_case "spike marker" `Quick test_spike_marker;
+    Alcotest.test_case "fig 1-5 runt pulse" `Quick test_fig_1_5_runt_pulse;
+    Alcotest.test_case "stimulus on driven net rejected" `Quick
+      test_stimulus_on_driven_net_rejected;
+    Alcotest.test_case "exhaustive small" `Quick test_exhaustive_small;
+    Alcotest.test_case "exhaustive exponential" `Quick test_exhaustive_grows_exponentially;
+    Alcotest.test_case "tv bounds simulation" `Quick test_tv_bounds_simulation;
+    Alcotest.test_case "register element" `Quick test_register_element;
+    Alcotest.test_case "register holds between edges" `Quick
+      test_register_holds_between_edges;
+    Alcotest.test_case "register x clock" `Quick test_register_x_clock;
+    Alcotest.test_case "latch element" `Quick test_latch_element;
+  ]

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "scald"
+    [
+      ("timebase", Test_timebase.suite);
+      ("tvalue", Test_tvalue.suite);
+      ("waveform", Test_waveform.suite);
+      ("assertion", Test_assertion.suite);
+      ("signal-name", Test_signal_name.suite);
+      ("directive", Test_directive.suite);
+      ("delay", Test_delay.suite);
+      ("netlist", Test_netlist.suite);
+      ("eval", Test_eval.suite);
+      ("check", Test_check.suite);
+      ("case-analysis", Test_case_analysis.suite);
+      ("circuits", Test_circuits.suite);
+      ("cells", Test_cells.suite);
+      ("ecl10k", Test_ecl10k.suite);
+      ("sdl", Test_sdl.suite);
+      ("report", Test_report.suite);
+      ("stats", Test_stats.suite);
+      ("logic-sim", Test_logic_sim.suite);
+      ("path-analysis", Test_path_analysis.suite);
+      ("netgen", Test_netgen.suite);
+      ("rise-fall", Test_rise_fall.suite);
+      ("prob-analysis", Test_prob.suite);
+      ("modular", Test_modular.suite);
+      ("properties", Test_properties.suite);
+      ("reporting", Test_reporting.suite);
+      ("wire-rule", Test_wire_rule.suite);
+      ("physical", Test_physical.suite);
+      ("golden", Test_golden.suite);
+      ("misc", Test_misc.suite);
+    ]

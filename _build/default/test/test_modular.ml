@@ -1,0 +1,115 @@
+(* §2.5.2: modular, section-by-section verification. *)
+
+open Scald_core
+
+let tb () = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25
+
+let section name build =
+  let nl = Netlist.create (tb ()) in
+  build nl;
+  { Modular.s_name = name; s_netlist = nl }
+
+let producer nl =
+  let d = Netlist.signal nl "RAW .S0-6" in
+  let ck = Netlist.signal nl "CK A .P1-2" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let q = Netlist.signal nl "XFER .S2-7" in
+  Scald_cells.Cells.register nl ~name:"XFER REG" ~data:(Netlist.conn d)
+    ~clock:(Netlist.conn ck) q
+
+let consumer nl =
+  let d = Netlist.signal nl "XFER .S2-7" in
+  let ck = Netlist.signal nl "CK B .P4-5" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  let q = Netlist.signal nl "SINK" in
+  Scald_cells.Cells.register nl ~name:"SINK REG" ~data:(Netlist.conn d)
+    ~clock:(Netlist.conn ck) q
+
+let test_interface_signals () =
+  let sections = [ section "A" producer; section "B" consumer ] in
+  match Modular.interface_signals sections with
+  | [ (signal, secs) ] ->
+    Alcotest.(check string) "the shared net" "XFER .S2-7" signal;
+    Alcotest.(check (list string)) "both sections" [ "A"; "B" ] secs
+  | l -> Alcotest.failf "expected one interface signal, got %d" (List.length l)
+
+let test_clean_composition () =
+  let r = Modular.verify [ section "A" producer; section "B" consumer ] in
+  Alcotest.(check int) "no issues" 0 (List.length r.Modular.m_issues);
+  Alcotest.(check bool) "whole design clean" true r.Modular.m_clean
+
+let test_unasserted_interface_flagged () =
+  (* the interface signal has no assertion: section B would silently
+     treat it as always stable *)
+  let producer' nl =
+    let d = Netlist.signal nl "RAW .S0-6" in
+    let ck = Netlist.signal nl "CK A .P1-2" in
+    Netlist.set_wire_delay nl ck Delay.zero;
+    let q = Netlist.signal nl "XFER BARE" in
+    Scald_cells.Cells.register nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) q
+  in
+  let consumer' nl =
+    let d = Netlist.signal nl "XFER BARE" in
+    let q = Netlist.signal nl "SINK" in
+    let ck = Netlist.signal nl "CK B .P4-5" in
+    Netlist.set_wire_delay nl ck Delay.zero;
+    Scald_cells.Cells.register nl ~data:(Netlist.conn d) ~clock:(Netlist.conn ck) q
+  in
+  let r = Modular.verify [ section "A" producer'; section "B" consumer' ] in
+  Alcotest.(check bool) "issue raised" true
+    (List.exists
+       (function Modular.Unasserted_interface _ -> true | _ -> false)
+       r.Modular.m_issues);
+  Alcotest.(check bool) "not clean" false r.Modular.m_clean
+
+let test_multiply_driven_flagged () =
+  let r = Modular.verify [ section "A" producer; section "B" producer ] in
+  Alcotest.(check bool) "issue raised" true
+    (List.exists
+       (function Modular.Multiply_driven _ -> true | _ -> false)
+       r.Modular.m_issues);
+  Alcotest.(check bool) "not clean" false r.Modular.m_clean
+
+let test_undriven_interface_reported_not_blocking () =
+  (* two consumers of a not-yet-generated signal: the assertion stands
+     in for future hardware (§1.1); reported but not an error *)
+  let consumer2 nl =
+    let d = Netlist.signal nl "XFER .S2-7" in
+    let ck = Netlist.signal nl "CK C .P4-5" in
+    Netlist.set_wire_delay nl ck Delay.zero;
+    let q = Netlist.signal nl "SINK 2" in
+    Scald_cells.Cells.register nl ~name:"SINK REG 2" ~data:(Netlist.conn d)
+      ~clock:(Netlist.conn ck) q
+  in
+  let r = Modular.verify [ section "B1" consumer; section "B2" consumer2 ] in
+  Alcotest.(check bool) "reported" true
+    (List.exists
+       (function Modular.Undriven_interface _ -> true | _ -> false)
+       r.Modular.m_issues);
+  Alcotest.(check bool) "still clean" true r.Modular.m_clean
+
+let test_dirty_section_blocks () =
+  let bad_consumer nl =
+    consumer nl;
+    (* add a register whose data changes through its clock edge *)
+    let late = Netlist.signal nl "LATE .S4-6" in
+    let ck = Netlist.signal nl "CK C .P4.8-6" in
+    Netlist.set_wire_delay nl ck Delay.zero;
+    let q = Netlist.signal nl "BAD SINK" in
+    Scald_cells.Cells.register nl ~name:"BAD REG" ~data:(Netlist.conn late)
+      ~clock:(Netlist.conn ck) q
+  in
+  let r = Modular.verify [ section "A" producer; section "B" bad_consumer ] in
+  Alcotest.(check bool) "whole design not clean" false r.Modular.m_clean
+
+let suite =
+  [
+    Alcotest.test_case "interface signals" `Quick test_interface_signals;
+    Alcotest.test_case "clean composition" `Quick test_clean_composition;
+    Alcotest.test_case "unasserted interface flagged" `Quick
+      test_unasserted_interface_flagged;
+    Alcotest.test_case "multiply driven flagged" `Quick test_multiply_driven_flagged;
+    Alcotest.test_case "undriven interface reported" `Quick
+      test_undriven_interface_reported_not_blocking;
+    Alcotest.test_case "dirty section blocks" `Quick test_dirty_section_blocks;
+  ]

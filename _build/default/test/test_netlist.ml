@@ -1,0 +1,119 @@
+open Scald_core
+
+let tb () = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25
+
+let gate2 = Primitive.Gate { fn = Primitive.And; n_inputs = 2; invert = false; delay = Delay.of_ns 1.0 2.0 }
+
+let test_signal_dedup () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "FOO" in
+  let b = Netlist.signal nl "FOO" in
+  Alcotest.(check int) "same net" a b;
+  let c = Netlist.signal nl "- FOO" in
+  Alcotest.(check int) "complement shares net" a c;
+  Alcotest.(check int) "one net" 1 (Netlist.n_nets nl)
+
+let test_assertion_distinguishes () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "CK .P2-3 L" in
+  let b = Netlist.signal nl "CK .P0-4" in
+  Alcotest.(check bool) "different nets" true (a <> b)
+
+let test_assertion_recorded () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "X .S0-6" in
+  match (Netlist.net nl a).Netlist.n_assertion with
+  | Some _ -> ()
+  | None -> Alcotest.fail "assertion not recorded"
+
+let test_signal_conn_complement () =
+  let nl = Netlist.create (tb ()) in
+  let c = Netlist.signal_conn nl "- WE" in
+  Alcotest.(check bool) "inverted" true c.Netlist.c_invert
+
+let test_width () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "BUS<0:15>" in
+  Alcotest.(check int) "vector width" 16 (Netlist.net nl a).Netlist.n_width;
+  Netlist.set_width nl a 32;
+  Alcotest.(check int) "explicit width" 32 (Netlist.net nl a).Netlist.n_width
+
+let test_add_and_fanout () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and b = Netlist.signal nl "B" and q = Netlist.signal nl "Q" in
+  let inst =
+    Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:(Some q)
+  in
+  Alcotest.(check (option int)) "driver" (Some inst.Netlist.i_id)
+    (Netlist.net nl q).Netlist.n_driver;
+  Alcotest.(check (list int)) "fanout a" [ inst.Netlist.i_id ]
+    (Netlist.net nl a).Netlist.n_fanout;
+  Alcotest.(check int) "one inst" 1 (Netlist.n_insts nl)
+
+let test_add_arity_error () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and q = Netlist.signal nl "Q" in
+  match Netlist.add nl gate2 ~inputs:[ Netlist.conn a ] ~output:(Some q) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch should be rejected"
+
+let test_double_drive_error () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and b = Netlist.signal nl "B" and q = Netlist.signal nl "Q" in
+  ignore (Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:(Some q));
+  match Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:(Some q) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double drive should be rejected"
+
+let test_checker_no_output () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and ck = Netlist.signal nl "CK" in
+  let chk = Primitive.Setup_hold_check { setup = 2500; hold = 1500 } in
+  (match
+     Netlist.add nl chk ~inputs:[ Netlist.conn a; Netlist.conn ck ]
+       ~output:(Some (Netlist.signal nl "Q"))
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "checker with output should be rejected");
+  ignore (Netlist.add nl chk ~inputs:[ Netlist.conn a; Netlist.conn ck ] ~output:None)
+
+let test_gate_needs_output () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and b = Netlist.signal nl "B" in
+  match Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:None with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gate without output should be rejected"
+
+let test_undriven_unasserted () =
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" and b = Netlist.signal nl "B .S0-6" in
+  let q = Netlist.signal nl "Q" in
+  ignore (Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:(Some q));
+  let names = List.map (fun (n : Netlist.net) -> n.Netlist.n_name) (Netlist.undriven_unasserted nl) in
+  Alcotest.(check (list string)) "only A" [ "A" ] names
+
+let test_wire_delay () =
+  let nl = Netlist.create (tb ()) in
+  Alcotest.(check bool) "default 0/2" true
+    (Delay.equal (Netlist.default_wire_delay nl) (Delay.of_ns 0.0 2.0));
+  let a = Netlist.signal nl "A" in
+  Netlist.set_wire_delay nl a (Delay.of_ns 0.0 6.0);
+  match (Netlist.net nl a).Netlist.n_wire_delay with
+  | Some d -> Alcotest.(check bool) "override" true (Delay.equal d (Delay.of_ns 0.0 6.0))
+  | None -> Alcotest.fail "wire delay not set"
+
+let suite =
+  [
+    Alcotest.test_case "signal dedup" `Quick test_signal_dedup;
+    Alcotest.test_case "assertion distinguishes" `Quick test_assertion_distinguishes;
+    Alcotest.test_case "assertion recorded" `Quick test_assertion_recorded;
+    Alcotest.test_case "signal_conn complement" `Quick test_signal_conn_complement;
+    Alcotest.test_case "width" `Quick test_width;
+    Alcotest.test_case "add and fanout" `Quick test_add_and_fanout;
+    Alcotest.test_case "add arity error" `Quick test_add_arity_error;
+    Alcotest.test_case "double drive error" `Quick test_double_drive_error;
+    Alcotest.test_case "checker no output" `Quick test_checker_no_output;
+    Alcotest.test_case "gate needs output" `Quick test_gate_needs_output;
+    Alcotest.test_case "undriven unasserted" `Quick test_undriven_unasserted;
+    Alcotest.test_case "wire delay" `Quick test_wire_delay;
+  ]

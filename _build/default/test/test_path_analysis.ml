@@ -1,0 +1,160 @@
+open Scald_core
+module Circuits = Scald_cells.Circuits
+
+let make_nl () =
+  Netlist.create
+    (Timebase.make ~period_ns:100.0 ~clock_unit_ns:10.0)
+    ~default_wire_delay:Delay.zero
+
+let buf delay = Primitive.Buf { invert = false; delay }
+
+let test_single_path () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-10" in
+  let q = Netlist.signal nl "Q" in
+  let ck = Netlist.signal nl "CK .P1-2" in
+  ignore
+    (Netlist.add nl (buf (Delay.of_ns 3.0 7.0)) ~inputs:[ Netlist.conn a ] ~output:(Some q));
+  ignore
+    (Netlist.add nl
+       (Primitive.Reg { delay = Delay.of_ns 1.0 2.0; has_set_reset = false })
+       ~inputs:[ Netlist.conn q; Netlist.conn ck ]
+       ~output:(Some (Netlist.signal nl "R")));
+  let r = Path_analysis.analyze nl in
+  match
+    List.find_opt (fun p -> p.Path_analysis.p_from = "A .S0-10" && p.Path_analysis.p_to = "Q")
+      r.Path_analysis.r_paths
+  with
+  | Some p ->
+    Alcotest.(check int) "min" 3_000 p.Path_analysis.p_min;
+    Alcotest.(check int) "max" 7_000 p.Path_analysis.p_max
+  | None -> Alcotest.fail "path A->Q not found"
+
+let test_series_delays_add () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-10" in
+  let m = Netlist.signal nl "M" in
+  let q = Netlist.signal nl "Q" in
+  let ck = Netlist.signal nl "CK .P1-2" in
+  ignore
+    (Netlist.add nl (buf (Delay.of_ns 3.0 7.0)) ~inputs:[ Netlist.conn a ] ~output:(Some m));
+  ignore
+    (Netlist.add nl (buf (Delay.of_ns 2.0 4.0)) ~inputs:[ Netlist.conn m ] ~output:(Some q));
+  ignore
+    (Netlist.add nl
+       (Primitive.Reg { delay = Delay.of_ns 1.0 2.0; has_set_reset = false })
+       ~inputs:[ Netlist.conn q; Netlist.conn ck ]
+       ~output:(Some (Netlist.signal nl "R")));
+  let r = Path_analysis.analyze nl in
+  match
+    List.find_opt (fun p -> p.Path_analysis.p_from = "A .S0-10" && p.Path_analysis.p_to = "Q")
+      r.Path_analysis.r_paths
+  with
+  | Some p ->
+    Alcotest.(check int) "5 min" 5_000 p.Path_analysis.p_min;
+    Alcotest.(check int) "11 max" 11_000 p.Path_analysis.p_max;
+    Alcotest.(check int) "two hops" 2 (List.length p.Path_analysis.p_through)
+  | None -> Alcotest.fail "path not found"
+
+let test_wire_delay_counted () =
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:100.0 ~clock_unit_ns:10.0)
+      ~default_wire_delay:(Delay.of_ns 0.0 2.0)
+  in
+  let a = Netlist.signal nl "A .S0-10" in
+  let q = Netlist.signal nl "Q" in
+  ignore
+    (Netlist.add nl (buf (Delay.of_ns 3.0 7.0)) ~inputs:[ Netlist.conn a ] ~output:(Some q));
+  ignore
+    (Netlist.add nl
+       (Primitive.Setup_hold_check { setup = 0; hold = 0 })
+       ~inputs:[ Netlist.conn q; Netlist.conn a ]
+       ~output:None);
+  let r = Path_analysis.analyze nl in
+  match
+    List.find_opt (fun p -> p.Path_analysis.p_to = "Q") r.Path_analysis.r_paths
+  with
+  | Some p -> Alcotest.(check int) "max includes wire" 9_000 p.Path_analysis.p_max
+  | None -> Alcotest.fail "path not found"
+
+let test_loop_cut () =
+  (* A combinational loop hits the search limit, like GRASP's. *)
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-10" in
+  let x = Netlist.signal nl "X" in
+  let y = Netlist.signal nl "Y" in
+  ignore
+    (Netlist.add nl
+       (Primitive.Gate
+          { fn = Primitive.Or; n_inputs = 2; invert = false; delay = Delay.of_ns 1.0 1.0 })
+       ~inputs:[ Netlist.conn a; Netlist.conn y ]
+       ~output:(Some x));
+  ignore
+    (Netlist.add nl (buf (Delay.of_ns 1.0 1.0)) ~inputs:[ Netlist.conn x ] ~output:(Some y));
+  ignore
+    (Netlist.add nl
+       (Primitive.Setup_hold_check { setup = 0; hold = 0 })
+       ~inputs:[ Netlist.conn x; Netlist.conn a ]
+       ~output:None);
+  let r = Path_analysis.analyze nl in
+  Alcotest.(check bool) "loops reported" true (r.Path_analysis.r_loops_cut > 0)
+
+let test_mux_select_extra () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-10" in
+  let b = Netlist.signal nl "B .S0-10" in
+  let s = Netlist.signal nl "S .S0-10" in
+  let q = Netlist.signal nl "Q" in
+  ignore
+    (Netlist.add nl
+       (Primitive.Mux2 { delay = Delay.of_ns 1.0 3.0; select_extra = Delay.of_ns 0.5 1.0 })
+       ~inputs:[ Netlist.conn a; Netlist.conn b; Netlist.conn s ]
+       ~output:(Some q));
+  ignore
+    (Netlist.add nl
+       (Primitive.Setup_hold_check { setup = 0; hold = 0 })
+       ~inputs:[ Netlist.conn q; Netlist.conn a ]
+       ~output:None);
+  let r = Path_analysis.analyze nl in
+  let find src =
+    List.find_opt (fun p -> p.Path_analysis.p_from = src) r.Path_analysis.r_paths
+  in
+  (match find "A .S0-10" with
+  | Some p -> Alcotest.(check int) "data path max" 3_000 p.Path_analysis.p_max
+  | None -> Alcotest.fail "data path missing");
+  match find "S .S0-10" with
+  | Some p -> Alcotest.(check int) "select path max" 4_000 p.Path_analysis.p_max
+  | None -> Alcotest.fail "select path missing"
+
+let test_spurious_on_bypass () =
+  (* §4.1: the Figure 2-6 circuit — path analysis reports the impossible
+     40 ns path; the verifier with case analysis knows it's 30 ns. *)
+  let bp = Circuits.bypass_example () in
+  let nl = bp.Circuits.bp_netlist in
+  let r =
+    Path_analysis.analyze ~sources:[ bp.Circuits.bp_input ]
+      ~sinks:[ bp.Circuits.bp_output ] nl
+  in
+  (match Path_analysis.worst r with
+  | Some p -> Alcotest.(check int) "worst = 40 ns" 40_000 p.Path_analysis.p_max
+  | None -> Alcotest.fail "no path found");
+  let spurious = Path_analysis.violations r ~max_delay:35_000 in
+  Alcotest.(check int) "one spurious violation at a 35 ns limit" 1 (List.length spurious);
+  (* the verifier with case analysis is clean at the same limit *)
+  let cases =
+    Case_analysis.parse_exn
+      (Printf.sprintf "%s = 0;%s = 1;" bp.Circuits.bp_control bp.Circuits.bp_control)
+  in
+  let report = Verifier.verify ~cases nl in
+  Alcotest.(check (float 0.01)) "true delay 30" 30.0 (Circuits.bypass_path_ns report bp)
+
+let suite =
+  [
+    Alcotest.test_case "single path" `Quick test_single_path;
+    Alcotest.test_case "series delays add" `Quick test_series_delays_add;
+    Alcotest.test_case "wire delay counted" `Quick test_wire_delay_counted;
+    Alcotest.test_case "loop cut" `Quick test_loop_cut;
+    Alcotest.test_case "mux select extra" `Quick test_mux_select_extra;
+    Alcotest.test_case "spurious on bypass" `Quick test_spurious_on_bypass;
+  ]

@@ -1,0 +1,178 @@
+(* The simplified Physical Design Subsystem (§2.5.3, §1.3.2). *)
+
+open Scald_core
+
+let make_nl () =
+  Netlist.create (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+
+(* creation-order placement makes the geometry predictable in tests *)
+let by_id = { Physical.default_config with Physical.placement = Physical.By_id }
+
+let buf = Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 }
+
+(* a chain long enough that consecutive instances land far apart *)
+let spread_chain nl n =
+  let input = Netlist.signal nl "IN .S0-6" in
+  let rec go i current =
+    if i = n then current
+    else begin
+      let next = Netlist.signal nl (Printf.sprintf "N%d" i) in
+      ignore (Netlist.add nl buf ~inputs:[ Netlist.conn current ] ~output:(Some next));
+      go (i + 1) next
+    end
+  in
+  (input, go 0 input)
+
+let test_route_lengths () =
+  let nl = make_nl () in
+  let _ = spread_chain nl 3 in
+  let r = Physical.place_and_route ~config:by_id nl in
+  (* adjacent chips on the grid: each two-pin net spans one 2 cm pitch *)
+  List.iter
+    (fun (rt : Physical.route) ->
+      if rt.Physical.r_fanout = 1 && rt.Physical.r_length_cm > 0. then
+        Alcotest.(check (float 1e-6)) "one pitch" 2.0 rt.Physical.r_length_cm)
+    r.Physical.p_routes;
+  Alcotest.(check bool) "total wire positive" true (r.Physical.p_total_wire_cm > 0.)
+
+let test_delay_from_length () =
+  let nl = make_nl () in
+  let _ = spread_chain nl 2 in
+  let r = Physical.place_and_route ~config:by_id nl in
+  let rt =
+    List.find (fun (x : Physical.route) -> x.Physical.r_length_cm > 0.) r.Physical.p_routes
+  in
+  (* 2 cm at 15 cm/ns = 0.133 ns plus the 0.2/0.5 intrinsic *)
+  Alcotest.(check int) "min" (Timebase.ps_of_ns (0.2 +. (2. /. 15.)))
+    rt.Physical.r_delay.Delay.dmin;
+  Alcotest.(check int) "max with detour" (Timebase.ps_of_ns (0.5 +. (1.8 *. 2. /. 15.)))
+    rt.Physical.r_delay.Delay.dmax
+
+let test_apply_respects_overrides () =
+  let nl = make_nl () in
+  let input, last = spread_chain nl 2 in
+  ignore last;
+  Netlist.set_wire_delay nl input (Delay.of_ns 0.0 6.0);
+  let r = Physical.apply ~config:by_id nl in
+  Alcotest.(check bool) "some applied" true (r.Physical.p_applied > 0);
+  match (Netlist.net nl input).Netlist.n_wire_delay with
+  | Some d -> Alcotest.(check bool) "designer delay kept" true (Delay.equal d (Delay.of_ns 0.0 6.0))
+  | None -> Alcotest.fail "override lost"
+
+let test_long_run_needs_line_analysis () =
+  (* two consumers 79 grid slots apart: tens of cm of wire, well over a
+     quarter rise time of propagation *)
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-6" in
+  let q0 = Netlist.signal nl "NEAR Q" in
+  ignore (Netlist.add nl buf ~inputs:[ Netlist.conn a ] ~output:(Some q0));
+  (* pad with unrelated instances to push the second consumer far away *)
+  for i = 0 to 77 do
+    let x = Netlist.signal nl (Printf.sprintf "PAD %d .S0-6" i) in
+    let y = Netlist.signal nl (Printf.sprintf "PADQ %d" i) in
+    ignore (Netlist.add nl buf ~inputs:[ Netlist.conn x ] ~output:(Some y))
+  done;
+  let q = Netlist.signal nl "FAR Q" in
+  ignore (Netlist.add nl buf ~inputs:[ Netlist.conn a ] ~output:(Some q));
+  let r = Physical.place_and_route ~config:by_id nl in
+  let rt = List.find (fun (x : Physical.route) -> x.Physical.r_net = "A .S0-6") r.Physical.p_routes in
+  Alcotest.(check bool)
+    (Printf.sprintf "long run (%.1f cm) screened" rt.Physical.r_length_cm)
+    true rt.Physical.r_needs_line_analysis
+
+let test_reflection_flagging () =
+  (* a heavily loaded clock run: receivers in parallel mismatch the
+     line, and the consumers are edge-sensitive register clocks *)
+  let nl = make_nl () in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  for i = 0 to 60 do
+    let d = Netlist.signal nl (Printf.sprintf "D%d .S0-6" i) in
+    let q = Netlist.signal nl (Printf.sprintf "Q%d" i) in
+    ignore
+      (Netlist.add nl
+         (Primitive.Reg { delay = Delay.of_ns 1.5 4.5; has_set_reset = false })
+         ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+         ~output:(Some q))
+  done;
+  let r = Physical.place_and_route ~config:by_id nl in
+  let rt = List.find (fun (x : Physical.route) -> x.Physical.r_net = "CK .P2-3") r.Physical.p_routes in
+  Alcotest.(check bool) "edge sensitive" true rt.Physical.r_edge_sensitive;
+  Alcotest.(check bool) "significant reflection" true (rt.Physical.r_reflection > 0.25);
+  Alcotest.(check bool) "flagged" true rt.Physical.r_flagged;
+  Alcotest.(check bool) "in the flagged list" true
+    (List.exists (fun (x : Physical.route) -> x.Physical.r_net = "CK .P2-3") r.Physical.p_flagged)
+
+let test_data_run_not_flagged () =
+  (* the same heavy loading on a data input is not edge-sensitive *)
+  let nl = make_nl () in
+  let d = Netlist.signal nl "BUS .S0-6" in
+  for i = 0 to 60 do
+    let q = Netlist.signal nl (Printf.sprintf "Q%d" i) in
+    ignore (Netlist.add nl buf ~inputs:[ Netlist.conn d ] ~output:(Some q))
+  done;
+  let r = Physical.place_and_route ~config:by_id nl in
+  let rt = List.find (fun (x : Physical.route) -> x.Physical.r_net = "BUS .S0-6") r.Physical.p_routes in
+  Alcotest.(check bool) "not flagged" false rt.Physical.r_flagged
+
+let test_computed_delays_change_verification () =
+  (* §2.5.3's workflow: once the packaged delays exist they replace the
+     default rule; a short-run design verifies with tighter windows *)
+  let nl = make_nl () in
+  let d = Netlist.signal nl "D .S0-7" in
+  (* the clock rises at 4.5 ns +- 1: the set-up window starts 1.0 ns
+     into the cycle, between the computed (0.5 ns) and default (2 ns)
+     settling of D *)
+  let ck = Netlist.signal nl "CK .P(-1,1)0.72-2" in
+  Netlist.set_wire_delay nl ck Delay.zero;
+  ignore
+    (Netlist.add nl
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+       ~output:None);
+  let with_default = Verifier.verify nl in
+  let r = Physical.apply ~config:by_id nl in
+  Alcotest.(check bool) "applied" true (r.Physical.p_applied > 0);
+  let with_computed = Verifier.verify nl in
+  (* the computed short-run delay (<= 1 ns) is tighter than the 2 ns
+     default: the marginal hold check now passes *)
+  Alcotest.(check bool) "default rule marginal or failing" true
+    (with_default.Verifier.r_violations <> []);
+  Alcotest.(check (list string)) "computed delays pass" []
+    (List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+       with_computed.Verifier.r_violations)
+
+let test_violations_conversion () =
+  let nl = make_nl () in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  for i = 0 to 60 do
+    let d = Netlist.signal nl (Printf.sprintf "D%d .S0-6" i) in
+    let q = Netlist.signal nl (Printf.sprintf "Q%d" i) in
+    ignore
+      (Netlist.add nl
+         (Primitive.Reg { delay = Delay.of_ns 1.5 4.5; has_set_reset = false })
+         ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+         ~output:(Some q))
+  done;
+  let r = Physical.place_and_route ~config:by_id nl in
+  let vs = Physical.violations r in
+  Alcotest.(check int) "one violation per flagged run" (List.length r.Physical.p_flagged)
+    (List.length vs);
+  List.iter
+    (fun (v : Check.t) ->
+      Alcotest.(check bool) "reflection kind" true (v.Check.v_kind = Check.Reflection_hazard))
+    vs
+
+let suite =
+  [
+    Alcotest.test_case "route lengths" `Quick test_route_lengths;
+    Alcotest.test_case "delay from length" `Quick test_delay_from_length;
+    Alcotest.test_case "apply respects overrides" `Quick test_apply_respects_overrides;
+    Alcotest.test_case "long run needs line analysis" `Quick
+      test_long_run_needs_line_analysis;
+    Alcotest.test_case "reflection flagging" `Quick test_reflection_flagging;
+    Alcotest.test_case "data run not flagged" `Quick test_data_run_not_flagged;
+    Alcotest.test_case "computed delays change verification" `Quick
+      test_computed_delays_change_verification;
+    Alcotest.test_case "violations conversion" `Quick test_violations_conversion;
+  ]

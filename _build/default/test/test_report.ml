@@ -1,0 +1,53 @@
+open Scald_core
+module Circuits = Scald_cells.Circuits
+
+let rendered () =
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  (c, report)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_summary_lists_signals () =
+  let _, report = rendered () in
+  let s = Format.asprintf "%a" Report.pp_summary report.Verifier.r_eval in
+  Alcotest.(check bool) "has header" true (contains s "TIMING VERIFIER SIGNAL VALUE SUMMARY");
+  Alcotest.(check bool) "has ADR" true (contains s "ADR<0:3>");
+  Alcotest.(check bool) "has the Figure 3-10 line" true
+    (contains s "S 0.0  C 0.5  S 5.5  C 25.5  S 30.5")
+
+let test_violation_listing () =
+  let _, report = rendered () in
+  let s = Format.asprintf "%a" Report.pp_violations report.Verifier.r_violations in
+  Alcotest.(check bool) "setup error shown" true (contains s "SETUP TIME VIOLATED");
+  Alcotest.(check bool) "miss amount shown" true (contains s "MISSED BY 1.0 NS")
+
+let test_violation_with_values () =
+  let _, report = rendered () in
+  let v = List.hd report.Verifier.r_violations in
+  let s =
+    Format.asprintf "%a" (fun ppf -> Report.pp_violation_with_values ppf report.Verifier.r_eval) v
+  in
+  Alcotest.(check bool) "data input line" true (contains s "DATA INPUT");
+  Alcotest.(check bool) "clock input line" true (contains s "CK INPUT")
+
+let test_cross_reference () =
+  let c, _ = rendered () in
+  let s = Format.asprintf "%a" Report.pp_cross_reference c.Circuits.rf_netlist in
+  Alcotest.(check bool) "CS flagged" true (contains s "CS")
+
+let test_empty_violations () =
+  let s = Format.asprintf "%a" Report.pp_violations [] in
+  Alcotest.(check bool) "no errors note" true (contains s "(no errors)")
+
+let suite =
+  [
+    Alcotest.test_case "summary lists signals" `Quick test_summary_lists_signals;
+    Alcotest.test_case "violation listing" `Quick test_violation_listing;
+    Alcotest.test_case "violation with values" `Quick test_violation_with_values;
+    Alcotest.test_case "cross reference" `Quick test_cross_reference;
+    Alcotest.test_case "empty violations" `Quick test_empty_violations;
+  ]

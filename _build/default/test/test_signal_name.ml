@@ -1,0 +1,84 @@
+open Scald_core
+
+let parse = Signal_name.parse_exn
+
+let test_plain () =
+  let s = parse "WRITE EN" in
+  Alcotest.(check string) "base" "WRITE EN" s.Signal_name.base;
+  Alcotest.(check bool) "no complement" false s.Signal_name.complemented;
+  Alcotest.(check bool) "no assertion" true (s.Signal_name.assertion = None);
+  Alcotest.(check int) "scalar" 1 (Signal_name.width s)
+
+let test_complement () =
+  let s = parse "- WE" in
+  Alcotest.(check bool) "complement" true s.Signal_name.complemented;
+  Alcotest.(check string) "base" "WE" s.Signal_name.base
+
+let test_vector () =
+  let s = parse "A<0:3>" in
+  Alcotest.(check (option (pair int int))) "vector" (Some (0, 3)) s.Signal_name.vector;
+  Alcotest.(check int) "width" 4 (Signal_name.width s);
+  let s2 = parse "ADR<0:31>" in
+  Alcotest.(check int) "width 32" 32 (Signal_name.width s2)
+
+let test_with_assertion () =
+  let s = parse "W DATA .S0-6" in
+  Alcotest.(check string) "base" "W DATA" s.Signal_name.base;
+  (match s.Signal_name.assertion with
+  | Some a -> Alcotest.(check bool) "stable kind" true (a.Assertion.kind = Assertion.Stable)
+  | None -> Alcotest.fail "expected an assertion");
+  let s2 = parse "CK .P2-3 L" in
+  match s2.Signal_name.assertion with
+  | Some a ->
+    Alcotest.(check bool) "precision" true (a.Assertion.kind = Assertion.Precision_clock);
+    Alcotest.(check bool) "low" true a.Assertion.low_active
+  | None -> Alcotest.fail "expected an assertion"
+
+let test_key_distinguishes_assertions () =
+  (* The assertion is part of the signal name (§2.5.1): "CK .P2-3 L" and
+     "CK .P0-4" are different signals. *)
+  let a = parse "CK .P2-3 L" and b = parse "CK .P0-4" in
+  Alcotest.(check bool) "different keys" true (Signal_name.key a <> Signal_name.key b);
+  (* Complementation does not create a distinct signal. *)
+  let c = parse "- CK .P2-3 L" in
+  Alcotest.(check string) "complement same key" (Signal_name.key a) (Signal_name.key c)
+
+let test_vector_with_assertion () =
+  let s = parse "READ ADR<0:3> .S4-9" in
+  Alcotest.(check int) "width" 4 (Signal_name.width s);
+  Alcotest.(check bool) "has assertion" true (s.Signal_name.assertion <> None)
+
+let test_multirange_assertion () =
+  let s = parse "XYZ .C2-3,5-6" in
+  match s.Signal_name.assertion with
+  | Some a -> Alcotest.(check int) "two ranges" 2 (List.length a.Assertion.ranges)
+  | None -> Alcotest.fail "expected an assertion"
+
+let test_to_string () =
+  Alcotest.(check string) "roundtrip text" "- WE" (Signal_name.to_string (parse "- WE"));
+  Alcotest.(check string) "assertion kept" "CK .P2-3 L"
+    (Signal_name.to_string (parse "CK .P2-3 L"))
+
+let test_errors () =
+  (match Signal_name.parse "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty should fail");
+  match Signal_name.parse "X .Pzz" with
+  | Error _ -> ()
+  | Ok s ->
+    (* ".Pzz" does not look like an assertion start, so it stays part of
+       the base name. *)
+    Alcotest.(check bool) "no assertion parsed" true (s.Signal_name.assertion = None)
+
+let suite =
+  [
+    Alcotest.test_case "plain" `Quick test_plain;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "vector" `Quick test_vector;
+    Alcotest.test_case "with assertion" `Quick test_with_assertion;
+    Alcotest.test_case "key distinguishes assertions" `Quick test_key_distinguishes_assertions;
+    Alcotest.test_case "vector with assertion" `Quick test_vector_with_assertion;
+    Alcotest.test_case "multirange assertion" `Quick test_multirange_assertion;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

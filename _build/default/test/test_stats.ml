@@ -1,0 +1,60 @@
+open Scald_core
+module Circuits = Scald_cells.Circuits
+
+let evaluated_register_file () =
+  let c = Circuits.register_file_example () in
+  let report = Verifier.verify c.Circuits.rf_netlist in
+  ignore report;
+  c.Circuits.rf_netlist
+
+let test_census () =
+  let nl = evaluated_register_file () in
+  let census = Stats.primitive_census nl in
+  let count name =
+    match List.find_opt (fun (n, _, _) -> n = name) census with
+    | Some (_, c, _) -> c
+    | None -> 0
+  in
+  Alcotest.(check int) "one mux" 1 (count "2 MUX");
+  Alcotest.(check int) "one reg" 1 (count "REG");
+  Alcotest.(check int) "setup/hold checkers" 3 (count "SETUP HOLD CHK");
+  Alcotest.(check int) "rise/fall checker" 1 (count "SETUP RISE HOLD FALL CHK");
+  Alcotest.(check int) "pulse checker" 1 (count "MIN PULSE WIDTH");
+  Alcotest.(check int) "total" (Netlist.n_insts nl) (Stats.total_primitives census)
+
+let test_unvectored () =
+  let nl = evaluated_register_file () in
+  (* without vector symmetry the 32-bit paths would need one primitive
+     per bit *)
+  Alcotest.(check bool) "unvectored larger" true
+    (Stats.unvectored_count nl > Netlist.n_insts nl)
+
+let test_storage_consistency () =
+  let nl = evaluated_register_file () in
+  let s = Stats.storage_of nl in
+  Alcotest.(check bool) "total positive" true (Stats.total s > 0);
+  Alcotest.(check int) "total is the sum" (Stats.total s)
+    (s.Stats.circuit_description + s.Stats.signal_values + s.Stats.signal_names
+    + s.Stats.string_space + s.Stats.call_list + s.Stats.miscellaneous);
+  Alcotest.(check bool) "value lists = total bits" true
+    (Stats.n_value_lists nl
+    = Array.fold_left (fun acc (n : Netlist.net) -> acc + n.Netlist.n_width) 0
+        (Netlist.nets nl))
+
+let test_value_records () =
+  let nl = evaluated_register_file () in
+  let mean = Stats.value_records_per_signal nl in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean records %.2f reasonable" mean)
+    true (mean >= 1. && mean <= 10.);
+  let bytes = Stats.bytes_per_signal_value nl in
+  (* 5-field base + 3 fields per record, 4 bytes per field *)
+  Alcotest.(check (float 0.01)) "bytes formula" ((5. +. (3. *. mean)) *. 4.) bytes
+
+let suite =
+  [
+    Alcotest.test_case "census" `Quick test_census;
+    Alcotest.test_case "unvectored" `Quick test_unvectored;
+    Alcotest.test_case "storage consistency" `Quick test_storage_consistency;
+    Alcotest.test_case "value records" `Quick test_value_records;
+  ]

@@ -1,0 +1,122 @@
+open Scald_core
+
+let v = Alcotest.testable Tvalue.pp Tvalue.equal
+
+let check_v msg expected actual = Alcotest.check v msg expected actual
+
+let test_char_roundtrip () =
+  List.iter
+    (fun x ->
+      match Tvalue.of_char (Tvalue.to_char x) with
+      | Some y -> check_v "roundtrip" x y
+      | None -> Alcotest.fail "of_char failed")
+    Tvalue.all
+
+let test_not_involution () =
+  List.iter (fun x -> check_v "not(not x) = x" x Tvalue.(lnot (lnot x))) Tvalue.all
+
+let test_or_table () =
+  let open Tvalue in
+  check_v "1 or U" V1 (lor_ V1 Unknown);
+  check_v "0 or R" Rise (lor_ V0 Rise);
+  check_v "S or R" Rise (lor_ Stable Rise);
+  check_v "S or F" Fall (lor_ Stable Fall);
+  check_v "R or F" Change (lor_ Rise Fall);
+  check_v "C or R" Change (lor_ Change Rise);
+  check_v "S or U" Unknown (lor_ Stable Unknown);
+  check_v "S or S" Stable (lor_ Stable Stable);
+  check_v "0 or 0" V0 (lor_ V0 V0);
+  check_v "0 or 1" V1 (lor_ V0 V1)
+
+let test_and_table () =
+  let open Tvalue in
+  check_v "0 and U" V0 (land_ V0 Unknown);
+  check_v "1 and R" Rise (land_ V1 Rise);
+  check_v "S and C" Change (land_ Stable Change);
+  check_v "R and F" Change (land_ Rise Fall);
+  check_v "1 and 1" V1 (land_ V1 V1);
+  check_v "S and U" Unknown (land_ Stable Unknown)
+
+let test_xor_table () =
+  let open Tvalue in
+  check_v "U xor 1" Unknown (lxor_ Unknown V1);
+  check_v "0 xor R" Rise (lxor_ V0 Rise);
+  check_v "1 xor R" Fall (lxor_ V1 Rise);
+  check_v "1 xor 1" V0 (lxor_ V1 V1);
+  check_v "S xor R" Change (lxor_ Stable Rise);
+  check_v "R xor R" Change (lxor_ Rise Rise)
+
+let test_chg () =
+  let open Tvalue in
+  check_v "chg S S" Stable (chg Stable Stable);
+  check_v "chg 0 1" Stable (chg V0 V1);
+  check_v "chg S R" Change (chg Stable Rise);
+  check_v "chg C U" Unknown (chg Change Unknown);
+  check_v "chg1 F" Change (chg1 Fall);
+  check_v "chg1 1" Stable (chg1 V1)
+
+let test_worst_edge () =
+  let open Tvalue in
+  check_v "0->1" Rise (worst_edge ~before:V0 ~after:V1);
+  check_v "1->0" Fall (worst_edge ~before:V1 ~after:V0);
+  check_v "S->C" Change (worst_edge ~before:Stable ~after:Change);
+  check_v "U->1" Unknown (worst_edge ~before:Unknown ~after:V1)
+
+let test_predicates () =
+  let open Tvalue in
+  Alcotest.(check bool) "V0 stable" true (is_stable V0);
+  Alcotest.(check bool) "S stable" true (is_stable Stable);
+  Alcotest.(check bool) "C not stable" false (is_stable Change);
+  Alcotest.(check bool) "U not stable" false (is_stable Unknown);
+  Alcotest.(check bool) "R changing" true (is_changing Rise);
+  Alcotest.(check bool) "U not changing" false (is_changing Unknown);
+  Alcotest.(check bool) "U undefined" false (is_defined Unknown)
+
+(* ---- properties --------------------------------------------------------- *)
+
+let gen_tvalue = QCheck.make ~print:(fun x -> String.make 1 (Tvalue.to_char x)) QCheck.Gen.(oneofl Tvalue.all)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name gen f)
+
+let commutative op (a, b) = Tvalue.equal (op a b) (op b a)
+
+let associative op (a, b, c) = Tvalue.equal (op a (op b c)) (op (op a b) c)
+
+let properties =
+  [
+    prop "or commutative" QCheck.(pair gen_tvalue gen_tvalue) (commutative Tvalue.lor_);
+    prop "and commutative" QCheck.(pair gen_tvalue gen_tvalue) (commutative Tvalue.land_);
+    prop "xor commutative" QCheck.(pair gen_tvalue gen_tvalue) (commutative Tvalue.lxor_);
+    prop "chg commutative" QCheck.(pair gen_tvalue gen_tvalue) (commutative Tvalue.chg);
+    prop "or associative" QCheck.(triple gen_tvalue gen_tvalue gen_tvalue)
+      (associative Tvalue.lor_);
+    prop "and associative" QCheck.(triple gen_tvalue gen_tvalue gen_tvalue)
+      (associative Tvalue.land_);
+    prop "chg associative" QCheck.(triple gen_tvalue gen_tvalue gen_tvalue)
+      (associative Tvalue.chg);
+    prop "de morgan" QCheck.(pair gen_tvalue gen_tvalue) (fun (a, b) ->
+        Tvalue.(equal (lnot (lor_ a b)) (land_ (lnot a) (lnot b))));
+    prop "or identity" gen_tvalue (fun a -> Tvalue.(equal (lor_ V0 a) a));
+    prop "and identity" gen_tvalue (fun a -> Tvalue.(equal (land_ V1 a) a));
+    prop "or dominance" gen_tvalue (fun a -> Tvalue.(equal (lor_ V1 a) V1));
+    prop "and dominance" gen_tvalue (fun a -> Tvalue.(equal (land_ V0 a) V0));
+    prop "xor unknown propagates" gen_tvalue (fun a ->
+        Tvalue.(equal (lxor_ Unknown a) Unknown));
+    prop "chg never edge-valued" QCheck.(pair gen_tvalue gen_tvalue) (fun (a, b) ->
+        match Tvalue.chg a b with
+        | Tvalue.Stable | Tvalue.Change | Tvalue.Unknown -> true
+        | Tvalue.V0 | Tvalue.V1 | Tvalue.Rise | Tvalue.Fall -> false);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "char roundtrip" `Quick test_char_roundtrip;
+    Alcotest.test_case "not involution" `Quick test_not_involution;
+    Alcotest.test_case "or table" `Quick test_or_table;
+    Alcotest.test_case "and table" `Quick test_and_table;
+    Alcotest.test_case "xor table" `Quick test_xor_table;
+    Alcotest.test_case "chg" `Quick test_chg;
+    Alcotest.test_case "worst edge" `Quick test_worst_edge;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+  ]
+  @ properties

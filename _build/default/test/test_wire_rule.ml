@@ -1,0 +1,94 @@
+(* §3.3 refined interconnection rules. *)
+
+open Scald_core
+
+let make_nl () =
+  Netlist.create (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+
+let gate2 = Primitive.Gate { fn = Primitive.And; n_inputs = 2; invert = false; delay = Delay.of_ns 1.0 2.0 }
+
+let test_flat_rule () =
+  let r = Wire_rule.s1_default in
+  Alcotest.(check bool) "fanout irrelevant" true
+    (Delay.equal (Wire_rule.delay_for r ~fanout:1) (Wire_rule.delay_for r ~fanout:8));
+  Alcotest.(check bool) "is 0/2" true
+    (Delay.equal (Wire_rule.delay_for r ~fanout:3) (Delay.of_ns 0.0 2.0))
+
+let test_loaded_rule () =
+  let r = Wire_rule.loaded ~base:(Delay.of_ns 0.0 1.0) ~per_load:(Delay.of_ns 0.1 0.5) in
+  Alcotest.(check bool) "one load = base" true
+    (Delay.equal (Wire_rule.delay_for r ~fanout:1) (Delay.of_ns 0.0 1.0));
+  Alcotest.(check bool) "four loads add three increments" true
+    (Delay.equal (Wire_rule.delay_for r ~fanout:4) (Delay.of_ns 0.3 2.5));
+  Alcotest.(check bool) "zero fanout treated as one" true
+    (Delay.equal (Wire_rule.delay_for r ~fanout:0) (Delay.of_ns 0.0 1.0))
+
+let test_apply_sets_unset_nets_only () =
+  let nl = make_nl () in
+  let a = Netlist.signal nl "A .S0-6" in
+  let b = Netlist.signal nl "B .S0-6" in
+  let q = Netlist.signal nl "Q" in
+  (* A fans out to two gates, B to one *)
+  ignore (Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn b ] ~output:(Some q));
+  let q2 = Netlist.signal nl "Q2" in
+  ignore (Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn a ] ~output:(Some q2));
+  (* an explicit designer delay survives *)
+  Netlist.set_wire_delay nl b (Delay.of_ns 0.0 6.0);
+  let rule = Wire_rule.loaded ~base:(Delay.of_ns 0.0 1.0) ~per_load:(Delay.of_ns 0.0 1.0) in
+  let n_set = Wire_rule.apply nl rule in
+  Alcotest.(check int) "three nets filled (A, Q, Q2)" 3 n_set;
+  (match (Netlist.net nl a).Netlist.n_wire_delay with
+  | Some d -> Alcotest.(check bool) "A loaded twice" true (Delay.equal d (Delay.of_ns 0.0 2.0))
+  | None -> Alcotest.fail "A not set");
+  match (Netlist.net nl b).Netlist.n_wire_delay with
+  | Some d -> Alcotest.(check bool) "B untouched" true (Delay.equal d (Delay.of_ns 0.0 6.0))
+  | None -> Alcotest.fail "B lost its delay"
+
+let test_loading_changes_verification () =
+  (* the same circuit passes under the flat rule and fails when the
+     refined rule charges its heavy fan-out (§3.3: "it is easy to vary
+     the rule that is used") *)
+  let build rule =
+    let nl = make_nl () in
+    let d = Netlist.signal nl "D .S0-7.5" in
+    let ck = Netlist.signal nl "CK .P1-2" in
+    Netlist.set_wire_delay nl ck Delay.zero;
+    let q = Netlist.signal nl "Q" in
+    ignore
+      (Netlist.add nl
+         (Primitive.Reg { delay = Delay.of_ns 1.5 4.5; has_set_reset = false })
+         ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+         ~output:(Some q));
+    ignore
+      (Netlist.add nl
+         (Primitive.Setup_hold_check
+            { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+         ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+         ~output:None);
+    (* give D ten loads *)
+    for i = 0 to 9 do
+      let s = Netlist.signal nl (Printf.sprintf "SINK%d" i) in
+      ignore
+        (Netlist.add nl
+           (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 1.0 })
+           ~inputs:[ Netlist.conn d ] ~output:(Some s))
+    done;
+    ignore (Wire_rule.apply nl rule);
+    Verifier.verify nl
+  in
+  let flat = build Wire_rule.s1_default in
+  let heavy =
+    build (Wire_rule.loaded ~base:(Delay.of_ns 0.0 1.0) ~per_load:(Delay.of_ns 0.0 0.6))
+  in
+  Alcotest.(check int) "flat rule passes" 0 (List.length flat.Verifier.r_violations);
+  Alcotest.(check bool) "loaded rule flags the heavy run" true
+    (heavy.Verifier.r_violations <> [])
+
+let suite =
+  [
+    Alcotest.test_case "flat rule" `Quick test_flat_rule;
+    Alcotest.test_case "loaded rule" `Quick test_loaded_rule;
+    Alcotest.test_case "apply sets unset nets only" `Quick test_apply_sets_unset_nets_only;
+    Alcotest.test_case "loading changes verification" `Quick
+      test_loading_changes_verification;
+  ]
