@@ -639,6 +639,33 @@ let scaling () =
         (100. *. float_of_int case_evals /. float_of_int (max 1 base_evals)))
     [ 500; 1000; 2000; 4000; 8000 ]
 
+(* ---- lint throughput --------------------------------------------------------------------------------- *)
+
+let lint_throughput () =
+  section "LINT THROUGHPUT: static audit cost vs design size";
+  Printf.printf
+    "  The constraint lint audits the expanded netlist without evaluating it,\n\
+    \  so it must stay cheap relative to verification even on full-size\n\
+    \  designs -- the audit is meant to run on every incomplete revision.\n\n";
+  Printf.printf "  %8s %8s %8s %10s %12s %10s %12s\n" "chips" "prims" "findings"
+    "lint" "nets/s" "verify" "lint/verify";
+  List.iter
+    (fun chips ->
+      let d = Netgen.generate (Netgen.scaled ~chips ()) in
+      let e = Netgen.to_netlist d in
+      let nl = e.Scald_sdl.Expander.e_netlist in
+      let report, lint_t = timed (fun () -> Scald_lint.Lint.audit nl) in
+      let _, verify_t = timed (fun () -> Verifier.verify nl) in
+      Printf.printf "  %8d %8d %8d %8.3f s %12.0f %8.3f s %11.1f%%\n"
+        (Netgen.n_chips d) (Netlist.n_insts nl)
+        (List.length report.Scald_lint.Lint_report.findings)
+        lint_t
+        (float_of_int report.Scald_lint.Lint_report.nets_audited
+        /. max 1e-9 lint_t)
+        verify_t
+        (100. *. lint_t /. max 1e-9 verify_t))
+    [ 500; 1000; 2000; 4000 ]
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -750,6 +777,7 @@ let experiments =
     ("ext-wire-rule", ext_wire_rule);
     ("ext-physical", ext_physical);
     ("scaling", scaling);
+    ("lint-throughput", lint_throughput);
   ]
 
 let () =

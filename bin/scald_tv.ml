@@ -14,7 +14,8 @@ let read_file path =
   close_in ic;
   s
 
-let run file case_file summary xref quiet paths corr_advice prob slack diagram vcd_out phys =
+let run file case_file summary xref quiet paths corr_advice prob slack diagram vcd_out
+    phys lint lint_only lint_fatal lint_json =
   let src = read_file file in
   match Scald_sdl.Expander.load src with
   | Error msg ->
@@ -23,6 +24,33 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
   | Ok { Scald_sdl.Expander.e_netlist = nl; e_summary; _ } ->
     if not quiet then
       Format.printf "expanded %s: %a@." file Scald_sdl.Expander.pp_summary e_summary;
+    (* The static design-rule audit (lint) runs before any evaluation,
+       so it also works on incomplete designs (--lint-only). *)
+    let want_lint = lint || lint_only || lint_fatal || lint_json <> None in
+    let lint_report =
+      if want_lint then Some (Scald_lint.Lint.audit nl) else None
+    in
+    (match lint_report with
+    | None -> ()
+    | Some lr ->
+      Format.printf "@.%a@." Scald_lint.Lint_report.pp lr;
+      (match lint_json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out_bin path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Scald_lint.Lint_report.pp_jsonl ppf lr;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        if not quiet then Format.printf "wrote lint findings to %s@." path));
+    let lint_failed =
+      lint_fatal
+      && (match lint_report with
+         | Some lr -> not (Scald_lint.Lint_report.clean lr)
+         | None -> false)
+    in
+    if lint_only then (if lint_failed then 3 else 0)
+    else begin
     (* The packaged-design mode (§2.5.3): compute interconnection
        delays from placement and routing before verifying. *)
     let phys_violations = ref [] in
@@ -73,7 +101,12 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
       Format.printf "@.cases: %d  events: %d  evaluations: %d@."
         (List.length report.Verifier.r_cases)
         report.Verifier.r_events report.Verifier.r_evaluations;
-    if Verifier.clean report && !phys_violations = [] then 0 else 2
+    (* Exit-code contract: 0 clean, 2 timing violations, 3 lint errors
+       under --lint-fatal (lint errors take precedence). *)
+    if lint_failed then 3
+    else if Verifier.clean report && !phys_violations = [] then 0
+    else 2
+    end
 
 open Cmdliner
 
@@ -132,6 +165,31 @@ let prob =
   in
   Arg.(value & opt (some float) None & info [ "prob" ] ~docv:"RHO" ~doc)
 
+let lint =
+  let doc =
+    "Run the static constraint lint (design-rule audit) over the expanded \
+     netlist before evaluation and print its listing."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+let lint_only =
+  let doc =
+    "Run only the constraint lint and skip evaluation entirely — usable on \
+     incomplete designs that would not evaluate cleanly."
+  in
+  Arg.(value & flag & info [ "lint-only" ] ~doc)
+
+let lint_fatal =
+  let doc =
+    "Treat lint errors as fatal: exit with status 3 when the lint reports \
+     any ERROR-severity finding (implies $(b,--lint))."
+  in
+  Arg.(value & flag & info [ "lint-fatal" ] ~doc)
+
+let lint_json =
+  let doc = "Write the lint findings as JSON lines (one object per finding) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "lint-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "verify the timing constraints of a synchronous digital design" in
   let man =
@@ -151,6 +209,7 @@ let cmd =
     (Cmd.info "scald_tv" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ file $ case_file $ summary $ xref $ quiet $ paths $ corr_advice
-      $ prob $ slack $ diagram $ vcd_out $ phys)
+      $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only $ lint_fatal
+      $ lint_json)
 
 let () = exit (Cmd.eval' cmd)

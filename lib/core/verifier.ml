@@ -5,6 +5,13 @@ type case_result = {
   cr_evaluations : int;
 }
 
+type lint_summary = {
+  ls_errors : int;
+  ls_warnings : int;
+  ls_infos : int;
+  ls_listing : string;
+}
+
 type report = {
   r_cases : case_result list;
   r_events : int;
@@ -12,26 +19,26 @@ type report = {
   r_violations : Check.t list;
   r_converged : bool;
   r_unasserted : string list;
+  r_lint : lint_summary option;
   r_eval : Eval.t;
 }
 
+(* Deduplicate on the full violation record: two reports of the same
+   kind/inst/signal that differ in clock, measured margin or detail are
+   distinct findings and must all survive. *)
 let dedup_violations vs =
   let seen = Hashtbl.create 64 in
   List.filter
     (fun (v : Check.t) ->
-      let key =
-        Format.asprintf "%s/%s/%s/%d/%s" (Check.kind_name v.v_kind) v.v_inst v.v_signal
-          v.v_required
-          (match v.v_at with None -> "-" | Some t -> string_of_int t)
-      in
-      if Hashtbl.mem seen key then false
+      if Hashtbl.mem seen v then false
       else begin
-        Hashtbl.add seen key ();
+        Hashtbl.add seen v ();
         true
       end)
     vs
 
-let verify ?(cases = []) nl =
+let verify ?lint ?(cases = []) nl =
+  let lint_summary = Option.map (fun f -> f nl) lint in
   let ev = Eval.create nl in
   let run_case case =
     let before_events = Eval.events ev and before_evals = Eval.evaluations ev in
@@ -55,6 +62,7 @@ let verify ?(cases = []) nl =
     r_converged = Eval.converged ev;
     r_unasserted =
       List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
+    r_lint = lint_summary;
     r_eval = ev;
   }
 
@@ -74,6 +82,12 @@ let pp ppf r =
         c.cr_case c.cr_events
         (List.length c.cr_violations))
     r.r_cases;
+  (match r.r_lint with
+  | None -> ()
+  | Some l ->
+    Format.fprintf ppf "lint: %d errors, %d warnings, %d infos@," l.ls_errors
+      l.ls_warnings l.ls_infos;
+    Format.fprintf ppf "%s@," l.ls_listing);
   Format.fprintf ppf "%a@," Report.pp_violations r.r_violations;
   Report.pp_cross_reference ppf (Eval.netlist r.r_eval);
   Format.fprintf ppf "@]"

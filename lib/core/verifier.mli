@@ -12,6 +12,18 @@ type case_result = {
   cr_evaluations : int;
 }
 
+type lint_summary = {
+  ls_errors : int;
+  ls_warnings : int;
+  ls_infos : int;
+  ls_listing : string;  (** the rendered lint listing *)
+}
+(** Result of a static design-rule audit run before evaluation.  The
+    audit itself lives in the [scald_lint] library (which depends on
+    this one); {!verify} takes it as a hook so a caller can fold lint
+    into the verification report without a dependency cycle —
+    [Verifier.verify ~lint:Scald_lint.Lint.summary nl]. *)
+
 type report = {
   r_cases : case_result list;
   r_events : int;  (** total events over all cases *)
@@ -20,16 +32,28 @@ type report = {
   r_converged : bool;
   r_unasserted : string list;
       (** cross-reference of undriven, unasserted signals *)
+  r_lint : lint_summary option;
+      (** present when {!verify} was given a [?lint] hook *)
   r_eval : Eval.t;  (** final evaluator state, for summary listings *)
 }
 
-val verify : ?cases:Case_analysis.case list -> Netlist.t -> report
+val verify :
+  ?lint:(Netlist.t -> lint_summary) ->
+  ?cases:Case_analysis.case list ->
+  Netlist.t ->
+  report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
     single symbolic cycle is evaluated; otherwise one incremental cycle
-    per case. *)
+    per case.  When [lint] is given it is run over the netlist {e
+    before} any evaluation and its summary carried in [r_lint]. *)
 
 val clean : report -> bool
 (** No violations in any case. *)
+
+val dedup_violations : Check.t list -> Check.t list
+(** Remove exact duplicates (all fields equal), keeping first
+    occurrences in order.  Violations that differ in any field — clock,
+    measured margin, detail — are distinct findings and all survive. *)
 
 val violations_of_kind : Check.kind -> report -> Check.t list
 

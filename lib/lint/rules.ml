@@ -1,0 +1,502 @@
+open Scald_core
+module R = Lint_report
+
+type rule = {
+  id : string;
+  title : string;
+  section : string;
+  severity : R.severity;
+  check : Netlist.t -> R.finding list;
+}
+
+let finding rule severity locus message hint =
+  { R.f_rule = rule; f_severity = severity; f_locus = locus; f_message = message;
+    f_hint = hint }
+
+let ns = Timebase.ns_of_ps
+
+(* ---- shared structural helpers ------------------------------------------- *)
+
+let is_clock_assertion (a : Assertion.t) =
+  match a.Assertion.kind with
+  | Assertion.Precision_clock | Assertion.Nonprecision_clock -> true
+  | Assertion.Stable -> false
+
+let net_clock nl id =
+  match (Netlist.net nl id).Netlist.n_assertion with
+  | Some a when is_clock_assertion a -> Some a
+  | _ -> None
+
+let net_name nl id = (Netlist.net nl id).Netlist.n_name
+
+(* The edge-sensitive clock/enable input of an instance, if it has one,
+   with its diagnostic port label. *)
+let edge_input (i : Netlist.inst) =
+  match i.Netlist.i_prim with
+  | Primitive.Reg _ | Primitive.Latch _ | Primitive.Setup_hold_check _
+  | Primitive.Setup_rise_hold_fall_check _ ->
+    Some (i.Netlist.i_inputs.(1), Primitive.input_label i.Netlist.i_prim 1)
+  | _ -> None
+
+let is_data_checker = function
+  | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _ -> true
+  | _ -> false
+
+(* Gates, buffers and muxes are "levels of gating": they consume one
+   evaluation-directive letter each and propagate the rest (2.8). *)
+let is_gating = function
+  | Primitive.Gate _ | Primitive.Buf _ | Primitive.Mux2 _ -> true
+  | _ -> false
+
+(* Does the backward cone of net [id], walking through drivers, reach a
+   signal carrying a clock assertion?  Bounded by the visited set, so
+   cycles terminate. *)
+let clock_reaches nl id =
+  let seen = Hashtbl.create 16 in
+  let rec go id =
+    if Hashtbl.mem seen id then false
+    else begin
+      Hashtbl.add seen id ();
+      match net_clock nl id with
+      | Some _ -> true
+      | None -> (
+        match (Netlist.net nl id).Netlist.n_driver with
+        | None -> false
+        | Some d ->
+          Array.exists
+            (fun (c : Netlist.conn) -> go c.c_net)
+            (Netlist.inst nl d).Netlist.i_inputs)
+    end
+  in
+  go id
+
+(* Maximum number of gating levels strictly below an instance's output.
+   Combinational cycles count as unbounded depth (their letters are
+   always consumed); K4 reports the cycle itself. *)
+let gating_depth nl =
+  let n = Netlist.n_insts nl in
+  let memo = Array.make n (-1) in
+  let rec depth i =
+    if memo.(i) >= 0 then memo.(i)
+    else if memo.(i) = -2 then max_int / 2
+    else begin
+      memo.(i) <- -2;
+      let inst = Netlist.inst nl i in
+      let d =
+        match inst.Netlist.i_output with
+        | None -> 0
+        | Some o ->
+          List.fold_left
+            (fun acc j ->
+              if is_gating (Netlist.inst nl j).Netlist.i_prim then
+                max acc (1 + depth j)
+              else acc)
+            0
+            (Netlist.net nl o).Netlist.n_fanout
+      in
+      memo.(i) <- min d (max_int / 2);
+      d
+    end
+  in
+  depth
+
+(* The base signal name with the assertion suffix stripped: the SCALD
+   system keys nets by the full spelling, so "D IN" and "D IN .S0-4"
+   are silently two different nets — exactly what K5 hunts for. *)
+let base_name name =
+  match Signal_name.parse name with
+  | Ok sn -> sn.Signal_name.base
+  | Error _ -> name
+
+let delay_dmax (prim : Primitive.t) =
+  match prim with
+  | Primitive.Gate { delay; _ }
+  | Primitive.Buf { delay; _ }
+  | Primitive.Mux2 { delay; _ }
+  | Primitive.Reg { delay; _ }
+  | Primitive.Latch { delay; _ } ->
+    delay.Delay.dmax
+  | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _
+  | Primitive.Min_pulse_width _ | Primitive.Const _ ->
+    0
+
+let wire_dmax nl id =
+  let n = Netlist.net nl id in
+  let d =
+    match n.Netlist.n_wire_delay with
+    | Some d -> d
+    | None -> Netlist.default_wire_delay nl
+  in
+  d.Delay.dmax
+
+(* ---- completeness rules --------------------------------------------------- *)
+
+(* C1: every edge-sensitive input traces back to a clock assertion. *)
+let check_c1 nl =
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      match edge_input i with
+      | Some (c, label) when not (clock_reaches nl c.Netlist.c_net) ->
+        acc :=
+          finding "C1" R.Error (R.Inst i.Netlist.i_name)
+            (Printf.sprintf
+               "%s input %s is never driven from a clock-asserted signal — the checker can never see a defined edge"
+               label (net_name nl c.Netlist.c_net))
+            "assert the clock with .P or .C (thesis 2.5), or derive it from an asserted clock"
+          :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* C2: every primary (undriven) input carries an assertion.  Subsumes
+   Netlist.undriven_unasserted: the verifier would silently assume
+   these signals always stable (2.5). *)
+let check_c2 nl =
+  List.map
+    (fun (n : Netlist.net) ->
+      finding "C2" R.Error (R.Net n.Netlist.n_name)
+        "primary input has neither a driver nor an assertion — the verifier assumes it always stable"
+        "add a .P/.C clock assertion or a .S stability assertion to the signal name (thesis 2.5)")
+    (Netlist.undriven_unasserted nl)
+
+(* C3: every register/latch data input is covered by a checker. *)
+let check_c3 nl =
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      match i.Netlist.i_prim with
+      | Primitive.Reg _ | Primitive.Latch _ ->
+        let data = i.Netlist.i_inputs.(0).Netlist.c_net in
+        let covered =
+          List.exists
+            (fun j ->
+              let chk = Netlist.inst nl j in
+              is_data_checker chk.Netlist.i_prim
+              && chk.Netlist.i_inputs.(0).Netlist.c_net = data)
+            (Netlist.net nl data).Netlist.n_fanout
+        in
+        if not covered then
+          acc :=
+            finding "C3" R.Warning (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "data input %s has no SETUP/HOLD checker — its timing is never verified"
+                 (net_name nl data))
+              "instantiate SETUP HOLD CHK on the data/clock pair (thesis Figure 2-3)"
+            :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* C4: gated clocks carry an &A/&H hazard directive (2.6).  An explicit
+   non-hazard directive counts as a designer waiver and is only
+   noted. *)
+let check_c4 nl =
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      match i.Netlist.i_prim with
+      | Primitive.Gate _ | Primitive.Mux2 _ ->
+        Array.iter
+          (fun (c : Netlist.conn) ->
+            match net_clock nl c.Netlist.c_net with
+            | None -> ()
+            | Some _ ->
+              if List.exists Directive.check_hazard c.Netlist.c_directive then ()
+              else if c.Netlist.c_directive <> [] then
+                acc :=
+                  finding "C4" R.Info (R.Inst i.Netlist.i_name)
+                    (Printf.sprintf
+                       "clock %s is gated under an explicit &%s directive — hazard check waived"
+                       (net_name nl c.Netlist.c_net)
+                       (Directive.to_string c.Netlist.c_directive))
+                    "make sure the waiver is intentional; &A/&H would check the gating inputs"
+                  :: !acc
+              else
+                acc :=
+                  finding "C4" R.Warning (R.Inst i.Netlist.i_name)
+                    (Printf.sprintf
+                       "clock %s is gated without an &A/&H directive — a control input changing while the clock is asserted would go undetected"
+                       (net_name nl c.Netlist.c_net))
+                    "add &A (check) or &H (check and re-time) to the clock connection (thesis 2.6)"
+                  :: !acc)
+          i.Netlist.i_inputs
+      | _ -> ());
+  List.rev !acc
+
+(* C5: clocks state their skew explicitly where the design rules give a
+   non-zero default. *)
+let check_c5 nl =
+  let defaults = Netlist.defaults nl in
+  let acc = ref [] in
+  Netlist.iter_nets nl (fun n ->
+      match n.Netlist.n_assertion with
+      | Some a when is_clock_assertion a && a.Assertion.skew_ns = None ->
+        let minus, plus =
+          match a.Assertion.kind with
+          | Assertion.Precision_clock -> defaults.Assertion.precision_skew
+          | _ -> defaults.Assertion.nonprecision_skew
+        in
+        if minus <> 0 || plus <> 0 then
+          acc :=
+            finding "C5" R.Info (R.Net n.Netlist.n_name)
+              (Printf.sprintf
+                 "clock relies on the default skew %.1f/%.1f ns of the design rules"
+                 (ns minus) (ns plus))
+              "state the skew explicitly with a (minus,plus) skew spec, e.g. .P(-1.0,1.0)2-3 (thesis 2.5)"
+            :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* ---- consistency rules ----------------------------------------------------- *)
+
+(* K1: delay ranges are sane and fit within the clock period. *)
+let check_k1 nl =
+  let period = Timebase.period (Netlist.timebase nl) in
+  let check_delay locus what (d : Delay.t) =
+    if d.Delay.dmin < 0 || d.Delay.dmin > d.Delay.dmax then
+      [ finding "K1" R.Error locus
+          (Printf.sprintf "%s has an inverted range %.1f/%.1f ns (min > max)" what
+             (ns d.Delay.dmin) (ns d.Delay.dmax))
+          "delays are min/max pairs with 0 <= min <= max (thesis 1.4.1.1)" ]
+    else if d.Delay.dmax > period then
+      [ finding "K1" R.Error locus
+          (Printf.sprintf "%s max %.1f ns exceeds the %.1f ns clock period" what
+             (ns d.Delay.dmax) (ns period))
+          "a path longer than the cycle cannot settle within the single verified period; split it or raise PERIOD" ]
+    else []
+  in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      let locus = R.Inst i.Netlist.i_name in
+      match i.Netlist.i_prim with
+      | Primitive.Gate { delay; _ } | Primitive.Buf { delay; _ }
+      | Primitive.Reg { delay; _ } | Primitive.Latch { delay; _ } ->
+        acc := check_delay locus "component delay" delay @ !acc
+      | Primitive.Mux2 { delay; select_extra } ->
+        acc :=
+          check_delay locus "component delay" delay
+          @ check_delay locus "select-path delay" (Delay.add delay select_extra)
+          @ !acc
+      | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _
+      | Primitive.Min_pulse_width _ | Primitive.Const _ ->
+        ());
+  Netlist.iter_nets nl (fun n ->
+      match n.Netlist.n_wire_delay with
+      | Some d ->
+        acc := check_delay (R.Net n.Netlist.n_name) "wire-delay override" d @ !acc
+      | None -> ());
+  let default_findings =
+    check_delay R.Design "default wire delay" (Netlist.default_wire_delay nl)
+  in
+  default_findings @ List.rev !acc
+
+(* K2: checker constraints are feasible within the period (the
+   exemplar's K5-style basic feasibility). *)
+let check_k2 nl =
+  let period = Timebase.period (Netlist.timebase nl) in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      let locus = R.Inst i.Netlist.i_name in
+      match i.Netlist.i_prim with
+      | Primitive.Setup_hold_check { setup; hold }
+      | Primitive.Setup_rise_hold_fall_check { setup; hold } ->
+        if setup + hold > period || setup > period || hold > period then
+          acc :=
+            finding "K2" R.Error locus
+              (Printf.sprintf
+                 "set-up %.1f ns + hold %.1f ns cannot be met within the %.1f ns period"
+                 (ns setup) (ns hold) (ns period))
+              "the data input would never be allowed to change; reduce the constraint or raise PERIOD"
+            :: !acc
+        else begin
+          (* one-level data-path margin: launch, propagate, settle
+             set-up before the next edge *)
+          let data = i.Netlist.i_inputs.(0).Netlist.c_net in
+          match (Netlist.net nl data).Netlist.n_driver with
+          | Some d ->
+            let path =
+              delay_dmax (Netlist.inst nl d).Netlist.i_prim + wire_dmax nl data
+            in
+            if path + setup > period then
+              acc :=
+                finding "K2" R.Warning locus
+                  (Printf.sprintf
+                     "data path into the checker (%.1f ns max) leaves no set-up margin (%.1f ns needed, %.1f ns period)"
+                     (ns path) (ns setup) (ns period))
+                  "shorten the path feeding the checked signal or reduce the set-up requirement"
+                :: !acc
+          | None -> ()
+        end
+      | Primitive.Min_pulse_width { high; low } ->
+        if high + low > period then
+          acc :=
+            finding "K2" R.Error locus
+              (Printf.sprintf
+                 "minimum widths %.1f ns high + %.1f ns low exceed the %.1f ns period"
+                 (ns high) (ns low) (ns period))
+              "one high and one low pulse must fit in a cycle; reduce the widths or raise PERIOD"
+            :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* K3: directive strings no longer than the gating depth that consumes
+   them (2.8). *)
+let check_k3 nl =
+  let depth = gating_depth nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      Array.iter
+        (fun (c : Netlist.conn) ->
+          let len = List.length c.Netlist.c_directive in
+          if len > 0 then begin
+            let usable =
+              if is_gating i.Netlist.i_prim then 1 + depth i.Netlist.i_id else 1
+            in
+            if len > usable then
+              acc :=
+                finding "K3" R.Warning (R.Inst i.Netlist.i_name)
+                  (Printf.sprintf
+                     "directive &%s on %s carries %d letters but only %d level(s) of gating consume them — the rest silently do nothing"
+                     (Directive.to_string c.Netlist.c_directive)
+                     (net_name nl c.Netlist.c_net) len usable)
+                  "one letter is consumed per level of gating (thesis 2.8); shorten the string or add the intended gating levels"
+                :: !acc
+          end)
+        i.Netlist.i_inputs);
+  List.rev !acc
+
+(* K4: combinational cycles, by DFS over driver/fanout — no evaluation.
+   Registers and latches legitimately close feedback loops; gates,
+   buffers and muxes must not. *)
+let check_k4 nl =
+  let n = Netlist.n_insts nl in
+  let color = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let acc = ref [] in
+  let rec dfs path i =
+    color.(i) <- 1;
+    let inst = Netlist.inst nl i in
+    (match inst.Netlist.i_output with
+    | None -> ()
+    | Some o ->
+      List.iter
+        (fun j ->
+          if is_gating (Netlist.inst nl j).Netlist.i_prim then begin
+            if color.(j) = 0 then dfs (j :: path) j
+            else if color.(j) = 1 then begin
+              (* back edge: the cycle is the path segment back to j *)
+              let rec take = function
+                | [] -> []
+                | k :: rest -> if k = j then [ k ] else k :: take rest
+              in
+              let cycle = List.rev (take (i :: path)) in
+              let names =
+                List.map (fun k -> (Netlist.inst nl k).Netlist.i_name) cycle
+              in
+              acc :=
+                finding "K4" R.Error (R.Net (net_name nl o))
+                  (Printf.sprintf "combinational cycle: %s"
+                     (String.concat " -> " (names @ [ List.hd names ])))
+                  "unregistered feedback never settles; break the loop with a register or latch (thesis 2.4)"
+                :: !acc
+            end
+          end)
+        (Netlist.net nl o).Netlist.n_fanout);
+    color.(i) <- 2
+  in
+  Netlist.iter_insts nl (fun i ->
+      if color.(i.Netlist.i_id) = 0 && is_gating i.Netlist.i_prim then
+        dfs [ i.Netlist.i_id ] i.Netlist.i_id);
+  List.rev !acc
+
+(* K5: assertion spellings and polarities are consistent. *)
+let check_k5 nl =
+  let acc = ref [] in
+  (* (a) one spelling per signal: the assertion is part of the net key
+     (2.5.1), so conflicting spellings silently split one signal into
+     several independent nets. *)
+  let by_base = Hashtbl.create 64 in
+  Netlist.iter_nets nl (fun n ->
+      let base = base_name n.Netlist.n_name in
+      Hashtbl.replace by_base base
+        (n.Netlist.n_name
+        :: (match Hashtbl.find_opt by_base base with Some l -> l | None -> [])));
+  Hashtbl.iter
+    (fun base spellings ->
+      match spellings with
+      | _ :: _ :: _ ->
+        acc :=
+          finding "K5" R.Error (R.Net base)
+            (Printf.sprintf
+               "signal spelled with conflicting assertions (%s) — each spelling is silently a distinct net"
+               (String.concat " vs " (List.sort String.compare spellings)))
+            "use one spelling everywhere: the assertion is part of the signal name (thesis 2.5.1)"
+          :: !acc
+      | _ -> ())
+    by_base;
+  (* (b) a stable-asserted signal used as a clock, and (c) a low-active
+     clock entering an edge-sensitive input uncomplemented. *)
+  Netlist.iter_insts nl (fun i ->
+      match edge_input i with
+      | None -> ()
+      | Some (c, label) -> (
+        match (Netlist.net nl c.Netlist.c_net).Netlist.n_assertion with
+        | Some a when not (is_clock_assertion a) ->
+          acc :=
+            finding "K5" R.Error (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "%s input %s carries a .S stability assertion, not a clock assertion"
+                 label (net_name nl c.Netlist.c_net))
+              "edge-sensitive inputs need a .P/.C clock; a stable window defines no edge (thesis 2.5)"
+            :: !acc
+        | Some a when a.Assertion.low_active && not c.Netlist.c_invert ->
+          acc :=
+            finding "K5" R.Warning (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "low-active clock %s drives the %s input uncomplemented — the edge checked is the wrong one"
+                 (net_name nl c.Netlist.c_net) label)
+              "connect the complement (a leading \"-\") or drop the L polarity from the assertion"
+            :: !acc
+        | _ -> ()));
+  List.sort R.compare_finding !acc
+
+(* K6: dead logic — a driven net that feeds nothing is either wasted
+   hardware or a missing checker connection. *)
+let check_k6 nl =
+  let acc = ref [] in
+  Netlist.iter_nets nl (fun n ->
+      if n.Netlist.n_driver <> None && n.Netlist.n_fanout = [] then
+        acc :=
+          finding "K6" R.Warning (R.Net n.Netlist.n_name)
+            "driven but feeds no primitive and no checker — dead logic, or a missing connection"
+            "connect the signal, check it, or delete its driver"
+          :: !acc);
+  List.rev !acc
+
+(* ---- catalogue ------------------------------------------------------------- *)
+
+let all =
+  [
+    { id = "C1"; title = "edge-sensitive inputs trace to a clock assertion";
+      section = "2.5, Figure 2-3"; severity = R.Error; check = check_c1 };
+    { id = "C2"; title = "primary inputs carry assertions"; section = "2.5";
+      severity = R.Error; check = check_c2 };
+    { id = "C3"; title = "register and latch data inputs are checked";
+      section = "Figures 2-1 to 2-3"; severity = R.Warning; check = check_c3 };
+    { id = "C4"; title = "gated clocks carry &A/&H directives"; section = "2.6";
+      severity = R.Warning; check = check_c4 };
+    { id = "C5"; title = "clock skew stated where design rules default it";
+      section = "2.5, 3.3"; severity = R.Info; check = check_c5 };
+    { id = "K1"; title = "delay ranges sane and within the period";
+      section = "1.4.1.1"; severity = R.Error; check = check_k1 };
+    { id = "K2"; title = "checker constraints feasible within the period";
+      section = "2.9"; severity = R.Error; check = check_k2 };
+    { id = "K3"; title = "directive length matches the gating depth";
+      section = "2.8"; severity = R.Warning; check = check_k3 };
+    { id = "K4"; title = "no combinational cycles"; section = "2.4";
+      severity = R.Error; check = check_k4 };
+    { id = "K5"; title = "assertion spellings and polarities consistent";
+      section = "2.5.1"; severity = R.Error; check = check_k5 };
+    { id = "K6"; title = "no dead logic"; section = "2.5";
+      severity = R.Warning; check = check_k6 };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun r -> r.id = id) all

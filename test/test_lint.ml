@@ -1,0 +1,276 @@
+(* Constraint-lint tests: every rule both firing and passing on minimal
+   designs, the JSON round-trip, the Verifier ?lint hook, the dedup fix,
+   and a golden snapshot of the s1_subset lint listing. *)
+
+open Scald_core
+module Lint = Scald_lint.Lint
+module Rules = Scald_lint.Rules
+module LR = Scald_lint.Lint_report
+
+let load src =
+  match Scald_sdl.Expander.load src with
+  | Ok e -> e.Scald_sdl.Expander.e_netlist
+  | Error msg -> Alcotest.failf "expander: %s" msg
+
+let preamble = "PERIOD 50.0;\nCLOCK UNIT 6.25;\nDEFAULT WIRE DELAY 0.0/2.0;\n"
+
+let audit_src src = Lint.audit (load (preamble ^ src))
+
+let fires id r = LR.by_rule id r <> []
+
+let check_fires id src =
+  Alcotest.(check bool) (id ^ " fires") true (fires id (audit_src src))
+
+let check_passes id src =
+  Alcotest.(check bool) (id ^ " passes") false (fires id (audit_src src))
+
+(* ---- completeness rules --------------------------------------------------- *)
+
+let test_c1 () =
+  check_fires "C1" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK FREE);\n";
+  check_passes "C1" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n";
+  (* a clock derived through a gate still traces back to the assertion *)
+  check_passes "C1"
+    "2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, EN .S0-8) -> CKG;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CKG);\n"
+
+let test_c2 () =
+  check_fires "C2" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D RAW, CK .P2-3);\n";
+  check_passes "C2" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_c3 () =
+  check_fires "C3" "REG (DELAY=1.5/4.5) (D .S0-4, CK .P2-3) -> Q;\n";
+  check_passes "C3"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK .P2-3) -> Q;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_c4 () =
+  check_fires "C4" "2 AND (DELAY=1.0/2.0) (CK .P2-3, EN .S0-8) -> G;\n";
+  check_passes "C4" "2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, EN .S0-8) -> G;\n";
+  (* an explicit non-hazard directive is a waiver: noted, not warned *)
+  let r = audit_src "2 AND (DELAY=1.0/2.0) (CK .P2-3 &Z, EN .S0-8) -> G;\n" in
+  let c4 = LR.by_rule "C4" r in
+  Alcotest.(check int) "waiver noted once" 1 (List.length c4);
+  Alcotest.(check bool) "waiver is Info" true
+    (List.for_all (fun f -> f.LR.f_severity = LR.Info) c4)
+
+let test_c5 () =
+  check_fires "C5" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n";
+  (* skew specs are part of the assertion language, not the textual HDL:
+     build the explicit-skew clock through the netlist API *)
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+      ~default_wire_delay:(Delay.of_ns 0.0 2.0)
+  in
+  ignore (Netlist.signal nl "CK .P(-1.0,1.0)2-3");
+  Alcotest.(check bool) "C5 passes" false (fires "C5" (Lint.audit nl))
+
+(* ---- consistency rules ----------------------------------------------------- *)
+
+let test_k1 () =
+  check_fires "K1"
+    "WIRE DELAY (D .S0-4) = 0.0/60.0;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n";
+  check_passes "K1"
+    "WIRE DELAY (D .S0-4) = 0.0/6.0;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_k2 () =
+  (* infeasible set-up + hold *)
+  check_fires "K2" "SETUP HOLD CHK (SETUP=30.0, HOLD=25.0) (D .S0-4, CK .P2-3);\n";
+  (* infeasible minimum pulse widths *)
+  check_fires "K2" "MIN PULSE WIDTH (WIDTH=30.0/30.0) (CK .P2-3);\n";
+  (* one-level data path that eats the whole period before set-up *)
+  check_fires "K2"
+    "1 CHG (DELAY=10.0/48.0) (D .S0-4) -> X;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (X, CK .P2-3);\n";
+  check_passes "K2" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_k3 () =
+  check_fires "K3" "2 AND (DELAY=1.0/2.0) (CK .P2-3 &HZZW, EN .S0-8) -> G;\n";
+  check_passes "K3" "2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, EN .S0-8) -> G;\n";
+  (* two letters are fine when a second level of gating consumes them *)
+  check_passes "K3"
+    "2 AND (DELAY=1.0/2.0) (CK .P2-3 &HZ, EN .S0-8) -> G1;\n\
+     2 AND (DELAY=1.0/2.0) (G1, EN2 .S0-8) -> G2;\n"
+
+let test_k4 () =
+  check_fires "K4" "2 OR (DELAY=1.0/2.0) (LOOP, D .S0-4) -> LOOP;\n";
+  (* feedback through a register is legitimate *)
+  check_passes "K4"
+    "REG (DELAY=1.5/4.5) (LOOP, CK .P2-3) -> Q;\n\
+     2 OR (DELAY=1.0/2.0) (Q, D .S0-4) -> LOOP;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (LOOP, CK .P2-3);\n"
+
+let test_k5 () =
+  (* (a) conflicting spellings split one signal into two nets *)
+  check_fires "K5"
+    "1 CHG (DELAY=1.0/2.0) (D) -> X;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n";
+  (* (b) a .S signal used as an edge-sensitive clock *)
+  check_fires "K5" "REG (DELAY=1.5/4.5) (D .S0-4, EN .S0-8) -> Q;\n";
+  (* (c) a low-active clock entering the clock input uncomplemented *)
+  check_fires "K5" "REG (DELAY=1.5/4.5) (D .S0-4, CKL .P2-3 L) -> Q;\n";
+  check_passes "K5" "REG (DELAY=1.5/4.5) (D .S0-4, - CKL .P2-3 L) -> Q;\n"
+
+let test_k6 () =
+  check_fires "K6" "1 CHG (DELAY=1.0/2.0) (D .S0-4) -> X;\n";
+  check_passes "K6"
+    "1 CHG (DELAY=1.0/2.0) (D .S0-4) -> X;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (X, CK .P2-3);\n"
+
+(* ---- catalogue ------------------------------------------------------------- *)
+
+let test_catalogue () =
+  Alcotest.(check int) "eleven rules" 11 (List.length Rules.all);
+  let ids = List.map (fun (r : Rules.rule) -> r.Rules.id) Rules.all in
+  Alcotest.(check (list string)) "ids"
+    [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6" ]
+    ids;
+  (match Rules.find "k4" with
+  | Some r -> Alcotest.(check string) "find is case-insensitive" "K4" r.Rules.id
+  | None -> Alcotest.fail "Rules.find k4 = None");
+  Alcotest.(check bool) "unknown id" true (Rules.find "Z9" = None)
+
+(* ---- the shipped examples -------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_underconstrained_example () =
+  let r = Lint.audit (load (read_file "../examples/underconstrained.sdl")) in
+  let ids = LR.rule_ids r in
+  Alcotest.(check (list string)) "every rule fires"
+    [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6" ]
+    ids;
+  Alcotest.(check bool) "has lint errors" false (LR.clean r)
+
+let test_s1_subset_clean () =
+  let r = Lint.audit (load (read_file "../examples/s1_subset.sdl")) in
+  Alcotest.(check int) "no lint errors" 0 (LR.count LR.Error r);
+  Alcotest.(check bool) "clean" true (LR.clean r)
+
+let test_s1_subset_golden () =
+  let r = Lint.audit (load (read_file "../examples/s1_subset.sdl")) in
+  let actual = Format.asprintf "%a" LR.pp r in
+  let golden = read_file "golden/s1_subset_lint.txt" in
+  Alcotest.(check string) "lint listing snapshot" golden actual
+
+(* ---- JSON round-trip -------------------------------------------------------- *)
+
+let finding_eq : LR.finding Alcotest.testable =
+  Alcotest.testable
+    (fun ppf f -> Format.pp_print_string ppf (LR.finding_to_json f))
+    ( = )
+
+let test_json_roundtrip () =
+  let r = Lint.audit (load (read_file "../examples/underconstrained.sdl")) in
+  Alcotest.(check bool) "findings present" true (r.LR.findings <> []);
+  List.iter
+    (fun f ->
+      let line = LR.finding_to_json f in
+      match LR.finding_of_json line with
+      | Ok f' -> Alcotest.check finding_eq "round-trip" f f'
+      | Error e -> Alcotest.failf "parse failed on %s: %s" line e)
+    r.LR.findings
+
+let test_json_escaping () =
+  let f =
+    { LR.f_rule = "K9";
+      f_severity = LR.Warning;
+      f_locus = LR.Inst "A \"B\"\\C";
+      f_message = "line1\nline2\ttab";
+      f_hint = "ctrl\001char" }
+  in
+  let line = LR.finding_to_json f in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  match LR.finding_of_json line with
+  | Ok f' -> Alcotest.check finding_eq "escaped round-trip" f f'
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects () =
+  Alcotest.(check bool) "not an object" true
+    (Result.is_error (LR.finding_of_json "[1,2]"));
+  Alcotest.(check bool) "missing fields" true
+    (Result.is_error (LR.finding_of_json "{\"rule\":\"C1\"}"));
+  Alcotest.(check bool) "bad severity" true
+    (Result.is_error
+       (LR.finding_of_json
+          "{\"rule\":\"C1\",\"severity\":\"fatal\",\"locus_kind\":\"net\",\"locus\":\"X\",\"message\":\"m\",\"hint\":\"h\"}"))
+
+(* ---- the Verifier hook ------------------------------------------------------ *)
+
+let test_verifier_hook () =
+  let nl = load (read_file "../examples/s1_subset.sdl") in
+  let report = Verifier.verify ~lint:Lint.summary nl in
+  match report.Verifier.r_lint with
+  | None -> Alcotest.fail "r_lint = None despite ?lint hook"
+  | Some l ->
+    let r = Lint.audit nl in
+    Alcotest.(check int) "errors" (LR.count LR.Error r) l.Verifier.ls_errors;
+    Alcotest.(check int) "warnings" (LR.count LR.Warning r) l.Verifier.ls_warnings;
+    Alcotest.(check int) "infos" (LR.count LR.Info r) l.Verifier.ls_infos;
+    Alcotest.(check bool) "listing rendered" true
+      (String.length l.Verifier.ls_listing > 0);
+    (* without the hook the field stays empty *)
+    let plain = Verifier.verify nl in
+    Alcotest.(check bool) "no hook, no lint" true (plain.Verifier.r_lint = None)
+
+(* ---- dedup regression -------------------------------------------------------- *)
+
+let violation ?(detail = "") ?(actual = None) () =
+  { Check.v_kind = Check.Setup_violation;
+    v_inst = "CHK.1";
+    v_signal = "D";
+    v_clock = Some "CK";
+    v_required = 2_500;
+    v_actual = actual;
+    v_at = Some 10_000;
+    v_detail = detail }
+
+let test_dedup () =
+  (* exact duplicates collapse, first occurrence kept *)
+  let v = violation ~detail:"d" () in
+  Alcotest.(check int) "duplicates collapse" 1
+    (List.length (Verifier.dedup_violations [ v; v; v ]));
+  (* violations differing only in v_detail are distinct findings *)
+  let a = violation ~detail:"case 1" () in
+  let b = violation ~detail:"case 2" () in
+  Alcotest.(check int) "distinct details survive" 2
+    (List.length (Verifier.dedup_violations [ a; b ]));
+  (* ... and so are ones differing only in the measured margin *)
+  let c = violation ~actual:(Some 1_000) () in
+  let d = violation ~actual:(Some 2_000) () in
+  Alcotest.(check int) "distinct margins survive" 2
+    (List.length (Verifier.dedup_violations [ c; d ]));
+  Alcotest.(check int) "mixed" 3
+    (List.length (Verifier.dedup_violations [ a; b; a; c; c ]))
+
+let suite =
+  [
+    Alcotest.test_case "C1 clock reaches edge inputs" `Quick test_c1;
+    Alcotest.test_case "C2 primary inputs asserted" `Quick test_c2;
+    Alcotest.test_case "C3 data inputs checked" `Quick test_c3;
+    Alcotest.test_case "C4 gated clocks carry directives" `Quick test_c4;
+    Alcotest.test_case "C5 default skew noted" `Quick test_c5;
+    Alcotest.test_case "K1 delay sanity" `Quick test_k1;
+    Alcotest.test_case "K2 constraint feasibility" `Quick test_k2;
+    Alcotest.test_case "K3 directive length" `Quick test_k3;
+    Alcotest.test_case "K4 combinational cycles" `Quick test_k4;
+    Alcotest.test_case "K5 assertion consistency" `Quick test_k5;
+    Alcotest.test_case "K6 dead logic" `Quick test_k6;
+    Alcotest.test_case "rule catalogue" `Quick test_catalogue;
+    Alcotest.test_case "underconstrained example fires all rules" `Quick
+      test_underconstrained_example;
+    Alcotest.test_case "s1_subset has no lint errors" `Quick test_s1_subset_clean;
+    Alcotest.test_case "s1_subset lint listing snapshot" `Quick test_s1_subset_golden;
+    Alcotest.test_case "JSON round-trip on real findings" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON escaping" `Quick test_json_escaping;
+    Alcotest.test_case "JSON rejects malformed lines" `Quick test_json_rejects;
+    Alcotest.test_case "Verifier ?lint hook" `Quick test_verifier_hook;
+    Alcotest.test_case "dedup keeps distinct violations" `Quick test_dedup;
+  ]

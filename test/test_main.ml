@@ -28,6 +28,7 @@ let () =
       ("reporting", Test_reporting.suite);
       ("wire-rule", Test_wire_rule.suite);
       ("physical", Test_physical.suite);
+      ("lint", Test_lint.suite);
       ("golden", Test_golden.suite);
       ("misc", Test_misc.suite);
     ]
