@@ -19,6 +19,22 @@ let timed f =
   let x = f () in
   (x, Sys.time () -. t0)
 
+(* With --metrics-dir DIR, experiments that verify a design also write
+   their evaluator counters (plus any hand-timed phases) to
+   DIR/BENCH_<id>.json in the scald-metrics/1 shape, so runs can be
+   compared column-by-column across commits. *)
+let metrics_dir : string option ref = ref None
+
+let emit_bench_metrics id ?(phases = []) report =
+  match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id) in
+    Scald_obs.Counters.write_file
+      (Scald_obs.Counters.of_report ~phases report)
+      path;
+    Printf.printf "\n  wrote counters to %s\n" path
+
 (* ---- Table 3-1: execution statistics ----------------------------------------- *)
 
 (* The paper's numbers are minutes on the S-1 Mark I (~ IBM 370/168);
@@ -68,7 +84,18 @@ let table_3_1 () =
     (1000. *. t_verify /. float_of_int events);
   Printf.printf "  %-40s %10s %12d\n" "cross-reference entries" "-" (List.length xref);
   Printf.printf "\n  violations in the clean design: %d (expected 0)\n"
-    (List.length report.Verifier.r_violations)
+    (List.length report.Verifier.r_violations);
+  emit_bench_metrics "table-3-1"
+    ~phases:
+      [
+        ("read", t_read);
+        ("pass1", e.Scald_sdl.Expander.e_pass1_s);
+        ("pass2", e.Scald_sdl.Expander.e_pass2_s);
+        ("xref", t_xref);
+        ("verify", t_verify);
+        ("summary", t_summary);
+      ]
+    report
 
 (* ---- Table 3-2: primitive definitions generated -------------------------------- *)
 
@@ -239,7 +266,8 @@ let fig_2_6 () =
     (fun i (c : Verifier.case_result) ->
       Printf.printf "  case %d re-evaluation: %d events (incremental, affected cone only)\n"
         (i + 1) c.Verifier.cr_events)
-    report1.Verifier.r_cases
+    report1.Verifier.r_cases;
+  emit_bench_metrics "fig-2-6" report1
 
 (* ---- Figure 2-8 / 2-9: separate skew preserves pulse widths ------------------------------- *)
 
@@ -666,6 +694,51 @@ let lint_throughput () =
         (100. *. lint_t /. max 1e-9 verify_t))
     [ 500; 1000; 2000; 4000 ]
 
+(* ---- instrumentation overhead ------------------------------------------------------------------------- *)
+
+(* The observability contract: the always-on counters plus an installed
+   probe (spans + causal ring) must not change the verifier's complexity
+   class — the bench holds the full instrumented run to < 5% over the
+   bare run on the netgen workload.  Both variants are repeated and the
+   best time kept, which cancels most scheduler noise. *)
+let obs_overhead () =
+  section "INSTRUMENTATION OVERHEAD: counters + probe vs bare verify";
+  let d = Netgen.generate (Netgen.scaled ~chips:2000 ()) in
+  let e = Netgen.to_netlist d in
+  let nl = e.Scald_sdl.Expander.e_netlist in
+  let best f =
+    let rec go n acc =
+      if n = 0 then acc
+      else
+        let _, t = timed f in
+        go (n - 1) (Float.min acc t)
+    in
+    go 5 infinity
+  in
+  (* warm up allocators and caches on a run that is not measured *)
+  ignore (Verifier.verify nl);
+  let t_bare = best (fun () -> ignore (Verifier.verify nl)) in
+  let obs = Scald_obs.Obs.create ~trace_buffer:4096 () in
+  let t_obs =
+    best (fun () -> ignore (Verifier.verify ~probe:(Scald_obs.Obs.probe obs) nl))
+  in
+  let overhead = 100. *. ((t_obs /. Float.max 1e-9 t_bare) -. 1.) in
+  let report = Verifier.verify ~probe:(Scald_obs.Obs.probe obs) nl in
+  Printf.printf "  %-44s %10.4f s\n" "bare verify (no probe, counters only)" t_bare;
+  Printf.printf "  %-44s %10.4f s\n" "instrumented verify (spans + event ring)" t_obs;
+  Printf.printf "  %-44s %+9.1f %%\n" "overhead" overhead;
+  Printf.printf "  %-44s %10d\n" "events recorded in ring"
+    (match Scald_obs.Obs.ring obs with
+    | Some r -> Scald_obs.Causal.recorded r
+    | None -> 0);
+  let budget = 5.0 in
+  Printf.printf "\n  overhead budget %.1f%%: %s\n" budget
+    (if overhead < budget then "PASS" else "FAIL");
+  emit_bench_metrics "obs-overhead"
+    ~phases:[ ("verify_bare", t_bare); ("verify_instrumented", t_obs) ]
+    report;
+  if overhead >= budget then exit 1
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -778,11 +851,20 @@ let experiments =
     ("ext-physical", ext_physical);
     ("scaling", scaling);
     ("lint-throughput", lint_throughput);
+    ("obs-overhead", obs_overhead);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let bechamel = List.mem "--bechamel" args in
+  let rec strip_metrics_dir = function
+    | "--metrics-dir" :: dir :: rest ->
+      metrics_dir := Some dir;
+      strip_metrics_dir rest
+    | a :: rest -> a :: strip_metrics_dir rest
+    | [] -> []
+  in
+  let args = strip_metrics_dir args in
   let ids = List.filter (fun a -> a <> "--bechamel") args in
   let to_run =
     match ids with

@@ -15,9 +15,29 @@ let read_file path =
   s
 
 let run file case_file summary xref quiet paths corr_advice prob slack diagram vcd_out
-    phys lint lint_only lint_fatal lint_json =
-  let src = read_file file in
-  match Scald_sdl.Expander.load src with
+    phys lint lint_only lint_fatal lint_json profile_out metrics_out explain
+    trace_buffer =
+  (* The observability layer is built only when asked for; with every
+     obs flag off the verifier sees no probe and the evaluator's event
+     hook stays None (the zero-overhead contract of doc/OBSERVABILITY.md). *)
+  let obs =
+    if profile_out <> None || metrics_out <> None || explain then
+      Some
+        (Scald_obs.Obs.create
+           ~trace_buffer:(if explain then max 1 trace_buffer else trace_buffer)
+           ())
+    else None
+  in
+  let span name f =
+    match obs with None -> f () | Some o -> Scald_obs.Obs.span o name f
+  in
+  let src = span "read" (fun () -> read_file file) in
+  let expanded =
+    match span "parse" (fun () -> Scald_sdl.Parser.parse src) with
+    | Error e -> Error e
+    | Ok ast -> span "expand" (fun () -> Scald_sdl.Expander.expand ast)
+  in
+  match expanded with
   | Error msg ->
     Format.eprintf "%s: %s@." file msg;
     1
@@ -28,7 +48,8 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
        so it also works on incomplete designs (--lint-only). *)
     let want_lint = lint || lint_only || lint_fatal || lint_json <> None in
     let lint_report =
-      if want_lint then Some (Scald_lint.Lint.audit nl) else None
+      if want_lint then Some (span "lint" (fun () -> Scald_lint.Lint.audit nl))
+      else None
     in
     (match lint_report with
     | None -> ()
@@ -49,7 +70,14 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
          | Some lr -> not (Scald_lint.Lint_report.clean lr)
          | None -> false)
     in
-    if lint_only then (if lint_failed then 3 else 0)
+    if lint_only then begin
+      (match obs, profile_out with
+      | Some o, Some path ->
+        Scald_obs.Obs.write_profile o path;
+        if not quiet then Format.printf "wrote phase profile to %s@." path
+      | _ -> ());
+      if lint_failed then 3 else 0
+    end
     else begin
     (* The packaged-design mode (§2.5.3): compute interconnection
        delays from placement and routing before verifying. *)
@@ -64,7 +92,9 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
       | None -> []
       | Some cf -> Case_analysis.parse_exn (read_file cf)
     in
-    let report = Verifier.verify ~cases nl in
+    let report =
+      Verifier.verify ?probe:(Option.map Scald_obs.Obs.probe obs) ~cases nl
+    in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
       Format.printf "@.%a@." (fun ppf -> Timing_diagram.pp ppf) report.Verifier.r_eval;
@@ -95,12 +125,29 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
       else
         List.iter (fun a -> Format.printf "  %a@." Path_analysis.Corr.pp_advice a) advice
     end;
-    Format.printf "@.%a@." Report.pp_violations
-      (!phys_violations @ report.Verifier.r_violations);
+    span "report" (fun () ->
+        Format.printf "@.%a@." Report.pp_violations
+          (!phys_violations @ report.Verifier.r_violations));
     if not quiet then
       Format.printf "@.cases: %d  events: %d  evaluations: %d@."
         (List.length report.Verifier.r_cases)
         report.Verifier.r_events report.Verifier.r_evaluations;
+    (match obs with
+    | None -> ()
+    | Some o ->
+      if explain then
+        Format.printf "@.%s@."
+          (Scald_obs.Obs.explain_all o nl report.Verifier.r_violations);
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+        Scald_obs.Obs.write_metrics o ~report path;
+        if not quiet then Format.printf "wrote run metrics to %s@." path);
+      (match profile_out with
+      | None -> ()
+      | Some path ->
+        Scald_obs.Obs.write_profile ~report o path;
+        if not quiet then Format.printf "wrote phase profile to %s@." path));
     (* Exit-code contract: 0 clean, 2 timing violations, 3 lint errors
        under --lint-fatal (lint errors take precedence). *)
     if lint_failed then 3
@@ -190,6 +237,36 @@ let lint_json =
   let doc = "Write the lint findings as JSON lines (one object per finding) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "lint-json" ] ~docv:"FILE" ~doc)
 
+let profile_out =
+  let doc =
+    "Write a phase profile (parse, expand, lint, per-case evaluate, check, \
+     report) as Chrome trace-event JSON to $(docv) — open it in \
+     chrome://tracing or https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write flat run metrics (events, evaluations, queue high-water mark, \
+     per-kind evaluation counts, per-phase wall times) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let explain =
+  let doc =
+    "After the error listing, print a causal trace for every violation: the \
+     chain of evaluator events that produced the failing edge (implies event \
+     tracing with the current $(b,--trace-buffer))."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let trace_buffer =
+  let doc =
+    "Capacity of the causal event ring buffer used by $(b,--explain); 0 \
+     disables event tracing."
+  in
+  Arg.(value & opt int 4096 & info [ "trace-buffer" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "verify the timing constraints of a synchronous digital design" in
   let man =
@@ -210,6 +287,6 @@ let cmd =
     Term.(
       const run $ file $ case_file $ summary $ xref $ quiet $ paths $ corr_advice
       $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only $ lint_fatal
-      $ lint_json)
+      $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer)
 
 let () = exit (Cmd.eval' cmd)

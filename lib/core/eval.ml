@@ -1,3 +1,35 @@
+(* Dense primitive-kind tags for the per-kind evaluation counters: an
+   array index is the only bookkeeping the hot path can afford. *)
+let n_kinds = 12
+
+let kind_tag = function
+  | Primitive.Gate { fn = Primitive.And; _ } -> 0
+  | Primitive.Gate { fn = Primitive.Or; _ } -> 1
+  | Primitive.Gate { fn = Primitive.Xor; _ } -> 2
+  | Primitive.Gate { fn = Primitive.Chg; _ } -> 3
+  | Primitive.Buf _ -> 4
+  | Primitive.Mux2 _ -> 5
+  | Primitive.Reg _ -> 6
+  | Primitive.Latch _ -> 7
+  | Primitive.Setup_hold_check _ -> 8
+  | Primitive.Setup_rise_hold_fall_check _ -> 9
+  | Primitive.Min_pulse_width _ -> 10
+  | Primitive.Const _ -> 11
+
+let kind_name = function
+  | 0 -> "AND"
+  | 1 -> "OR"
+  | 2 -> "XOR"
+  | 3 -> "CHG"
+  | 4 -> "BUF"
+  | 5 -> "MUX2"
+  | 6 -> "REG"
+  | 7 -> "LATCH"
+  | 8 -> "SETUP HOLD CHK"
+  | 9 -> "SETUP RISE HOLD FALL CHK"
+  | 10 -> "MIN PULSE WIDTH"
+  | _ -> "CONST"
+
 type t = {
   nl : Netlist.t;
   queue : int Queue.t;
@@ -5,6 +37,11 @@ type t = {
   case : Tvalue.t option array;
   mutable events : int;
   mutable evals : int;
+  mutable queued : int;
+  mutable coalesced : int;
+  mutable queue_hwm : int;
+  evals_by_kind : int array;
+  mutable on_event : (inst_id:int -> net_id:int -> unit) option;
   mutable converged : bool;
   mutable initialized : bool;
 }
@@ -17,6 +54,11 @@ let create nl =
     case = Array.make (max 1 (Netlist.n_nets nl)) None;
     events = 0;
     evals = 0;
+    queued = 0;
+    coalesced = 0;
+    queue_hwm = 0;
+    evals_by_kind = Array.make n_kinds 0;
+    on_event = None;
     converged = true;
     initialized = false;
   }
@@ -29,7 +71,39 @@ let converged t = t.converged
 
 let reset_counters t =
   t.events <- 0;
-  t.evals <- 0
+  t.evals <- 0;
+  t.queued <- 0;
+  t.coalesced <- 0;
+  t.queue_hwm <- 0;
+  Array.fill t.evals_by_kind 0 n_kinds 0
+
+type counters = {
+  c_events : int;
+  c_evaluations : int;
+  c_queued : int;
+  c_coalesced : int;
+  c_queue_hwm : int;
+  c_evals_by_kind : (string * int) list;
+}
+
+let counters t =
+  let by_kind = ref [] in
+  for tag = n_kinds - 1 downto 0 do
+    if t.evals_by_kind.(tag) > 0 then
+      by_kind := (kind_name tag, t.evals_by_kind.(tag)) :: !by_kind
+  done;
+  {
+    c_events = t.events;
+    c_evaluations = t.evals;
+    c_queued = t.queued;
+    c_coalesced = t.coalesced;
+    c_queue_hwm = t.queue_hwm;
+    c_evals_by_kind =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
+  }
+
+let set_event_hook t h = t.on_event <- h
+let event_hook t = t.on_event
 
 let period t = Timebase.period (Netlist.timebase t.nl)
 
@@ -51,9 +125,13 @@ let initial_value t (n : Netlist.net) =
   apply_case t n.n_id base
 
 let enqueue t inst_id =
-  if not t.in_queue.(inst_id) then begin
+  t.queued <- t.queued + 1;
+  if t.in_queue.(inst_id) then t.coalesced <- t.coalesced + 1
+  else begin
     t.in_queue.(inst_id) <- true;
-    Queue.add inst_id t.queue
+    Queue.add inst_id t.queue;
+    let len = Queue.length t.queue in
+    if len > t.queue_hwm then t.queue_hwm <- len
   end
 
 let enqueue_fanout t net_id =
@@ -336,6 +414,8 @@ let output_eval_str t (inst : Netlist.inst) =
 let eval_inst t inst_id =
   let inst = Netlist.inst t.nl inst_id in
   t.evals <- t.evals + 1;
+  t.evals_by_kind.(kind_tag inst.i_prim) <-
+    t.evals_by_kind.(kind_tag inst.i_prim) + 1;
   match eval_output t inst with
   | None -> ()
   | Some wf -> (
@@ -349,6 +429,9 @@ let eval_inst t inst_id =
         n.n_value <- wf;
         n.n_eval_str <- eval_str;
         t.events <- t.events + 1;
+        (match t.on_event with
+        | None -> ()
+        | Some f -> f ~inst_id ~net_id:out_id);
         enqueue_fanout t out_id
       end)
 

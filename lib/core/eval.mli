@@ -48,3 +48,36 @@ val evaluations : t -> int
 val converged : t -> bool
 
 val reset_counters : t -> unit
+
+(** {2 Instrumentation}
+
+    The evaluator keeps a handful of always-on integer counters (the
+    thesis reports its runtime shape in exactly these terms, §3.3.2) and
+    offers one optional per-event hook.  With the hook unset the hot
+    event path pays only plain integer increments — no allocation, no
+    indirect call. *)
+
+type counters = {
+  c_events : int;  (** output-change events processed *)
+  c_evaluations : int;  (** primitive evaluations performed *)
+  c_queued : int;  (** enqueue requests (fanout activations) *)
+  c_coalesced : int;
+      (** enqueue requests absorbed because the instance was already on
+          the work list — the saving of the call-list discipline *)
+  c_queue_hwm : int;  (** work-list high-water mark *)
+  c_evals_by_kind : (string * int) list;
+      (** evaluations per primitive mnemonic, e.g. [("REG", 42)];
+          alphabetical, zero-count kinds omitted *)
+}
+
+val counters : t -> counters
+(** Snapshot of the counters accumulated since creation (or the last
+    {!reset_counters}). *)
+
+val set_event_hook : t -> (inst_id:int -> net_id:int -> unit) option -> unit
+(** Install (or clear) a hook called once per event, {e after} the
+    output net [net_id] of instance [inst_id] has been given its new
+    value.  Used by the observability layer to feed its causal ring
+    buffer; [None] (the default) restores the zero-cost path. *)
+
+val event_hook : t -> (inst_id:int -> net_id:int -> unit) option

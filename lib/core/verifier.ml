@@ -12,6 +12,18 @@ type lint_summary = {
   ls_listing : string;
 }
 
+type obs_summary = {
+  os_queued : int;
+  os_coalesced : int;
+  os_queue_hwm : int;
+  os_evals_by_kind : (string * int) list;
+}
+
+type probe = {
+  pr_span : 'a. string -> (unit -> 'a) -> 'a;
+  pr_event : (inst_id:int -> net_id:int -> unit) option;
+}
+
 type report = {
   r_cases : case_result list;
   r_events : int;
@@ -20,6 +32,7 @@ type report = {
   r_converged : bool;
   r_unasserted : string list;
   r_lint : lint_summary option;
+  r_obs : obs_summary;
   r_eval : Eval.t;
 }
 
@@ -37,13 +50,27 @@ let dedup_violations vs =
       end)
     vs
 
-let verify ?lint ?(cases = []) nl =
-  let lint_summary = Option.map (fun f -> f nl) lint in
+let verify ?lint ?probe ?(cases = []) nl =
+  let span : 'a. string -> (unit -> 'a) -> 'a =
+   fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
+  in
+  let lint_summary =
+    match lint with
+    | None -> None
+    | Some f -> Some (span "lint" (fun () -> f nl))
+  in
   let ev = Eval.create nl in
-  let run_case case =
+  (match probe with
+  | Some { pr_event = Some _ as h; _ } -> Eval.set_event_hook ev h
+  | Some { pr_event = None; _ } | None -> ());
+  let run_case i case =
     let before_events = Eval.events ev and before_evals = Eval.evaluations ev in
-    Eval.run ~case:(Case_analysis.resolve nl case) ev;
-    let violations = Eval.check ev in
+    span
+      (Printf.sprintf "evaluate:case%d" (i + 1))
+      (fun () -> Eval.run ~case:(Case_analysis.resolve nl case) ev);
+    let violations =
+      span (Printf.sprintf "check:case%d" (i + 1)) (fun () -> Eval.check ev)
+    in
     {
       cr_case = case;
       cr_violations = violations;
@@ -52,8 +79,9 @@ let verify ?lint ?(cases = []) nl =
     }
   in
   let case_list = match cases with [] -> [ [] ] | cs -> cs in
-  let results = List.map run_case case_list in
+  let results = List.mapi run_case case_list in
   let all = List.concat_map (fun r -> r.cr_violations) results in
+  let c = Eval.counters ev in
   {
     r_cases = results;
     r_events = Eval.events ev;
@@ -63,6 +91,13 @@ let verify ?lint ?(cases = []) nl =
     r_unasserted =
       List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
     r_lint = lint_summary;
+    r_obs =
+      {
+        os_queued = c.Eval.c_queued;
+        os_coalesced = c.Eval.c_coalesced;
+        os_queue_hwm = c.Eval.c_queue_hwm;
+        os_evals_by_kind = c.Eval.c_evals_by_kind;
+      };
     r_eval = ev;
   }
 
@@ -82,6 +117,8 @@ let pp ppf r =
         c.cr_case c.cr_events
         (List.length c.cr_violations))
     r.r_cases;
+  Format.fprintf ppf "queued: %d   coalesced: %d   queue high-water mark: %d@,"
+    r.r_obs.os_queued r.r_obs.os_coalesced r.r_obs.os_queue_hwm;
   (match r.r_lint with
   | None -> ()
   | Some l ->

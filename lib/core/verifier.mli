@@ -24,6 +24,31 @@ type lint_summary = {
     into the verification report without a dependency cycle —
     [Verifier.verify ~lint:Scald_lint.Lint.summary nl]. *)
 
+type obs_summary = {
+  os_queued : int;  (** work-list enqueue requests over all cases *)
+  os_coalesced : int;
+      (** enqueue requests absorbed because the target was already
+          queued *)
+  os_queue_hwm : int;  (** work-list high-water mark *)
+  os_evals_by_kind : (string * int) list;
+      (** primitive evaluations per kind mnemonic, alphabetical *)
+}
+(** Always-on evaluator counters (see {!Eval.counters}), carried in the
+    report so callers need not hold on to [r_eval] to read them. *)
+
+type probe = {
+  pr_span : 'a. string -> (unit -> 'a) -> 'a;
+      (** wraps each internal phase — ["lint"], ["evaluate:caseN"],
+          ["check:caseN"] — so an external profiler can time them *)
+  pr_event : (inst_id:int -> net_id:int -> unit) option;
+      (** when present, installed as the evaluator's per-event hook
+          (see {!Eval.set_event_hook}) *)
+}
+(** Instrumentation hook record.  Like the [?lint] hook, this keeps the
+    dependency direction clean: the observability library ([scald_obs])
+    depends on this one and passes a probe in —
+    [Verifier.verify ~probe:(Scald_obs.Obs.probe o) nl]. *)
+
 type report = {
   r_cases : case_result list;
   r_events : int;  (** total events over all cases *)
@@ -34,18 +59,22 @@ type report = {
       (** cross-reference of undriven, unasserted signals *)
   r_lint : lint_summary option;
       (** present when {!verify} was given a [?lint] hook *)
+  r_obs : obs_summary;  (** evaluator counters (always present) *)
   r_eval : Eval.t;  (** final evaluator state, for summary listings *)
 }
 
 val verify :
   ?lint:(Netlist.t -> lint_summary) ->
+  ?probe:probe ->
   ?cases:Case_analysis.case list ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
     single symbolic cycle is evaluated; otherwise one incremental cycle
     per case.  When [lint] is given it is run over the netlist {e
-    before} any evaluation and its summary carried in [r_lint]. *)
+    before} any evaluation and its summary carried in [r_lint].  When
+    [probe] is given its span hook brackets every internal phase and its
+    event hook (if any) sees every evaluator event. *)
 
 val clean : report -> bool
 (** No violations in any case. *)
@@ -59,4 +88,5 @@ val violations_of_kind : Check.kind -> report -> Check.t list
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable verification report: per-case violation counts, the
-    error listing, and the cross-reference. *)
+    evaluator counter line, the lint summary when present, the error
+    listing, and the cross-reference. *)

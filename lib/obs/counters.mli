@@ -1,0 +1,36 @@
+(** Flat run metrics and their JSON rendering.
+
+    Collects the evaluator counters carried in a verification report
+    (plus optional per-phase wall times from a {!Span} profiler) into
+    one flat record, written as a single JSON object — the
+    [metrics.json] consumed by dashboards and the bench harness.  The
+    writer is hand-rolled (the repo takes no JSON dependency); the
+    emitted shape is pinned by [doc/metrics.schema.json]. *)
+
+type metrics = {
+  m_counters : (string * int) list;
+      (** flat integer counters: ["events"], ["evaluations"],
+          ["events_queued"], ["events_coalesced"], ["queue_hwm"],
+          ["cases"], ["violations"], ["unasserted"] *)
+  m_flags : (string * bool) list;  (** ["converged"] *)
+  m_kinds : (string * int) list;  (** evaluations per primitive kind *)
+  m_phases : (string * float) list;  (** per-phase wall seconds *)
+}
+
+val of_report :
+  ?phases:(string * float) list -> Scald_core.Verifier.report -> metrics
+(** Extract every counter from a report; [phases] adds per-phase wall
+    times (name, seconds) — pass [Obs.phase_seconds] or hand-timed
+    figures. *)
+
+val counter : metrics -> string -> int
+(** Value of a flat counter, 0 when absent. *)
+
+val to_json : metrics -> string
+(** One flat JSON object, terminated by a newline. *)
+
+val write_file : metrics -> string -> unit
+
+val json_string : string -> string
+(** JSON string literal (quoted, escaped) — shared with
+    {!Trace_export}. *)

@@ -1,0 +1,43 @@
+(** Phase profiler: nested wall-clock spans.
+
+    A profiler records a tree of named spans — parse, expand, lint,
+    per-case evaluate, check, report — against a monotonically sampled
+    clock.  Timestamps are kept relative to the profiler's creation, in
+    microseconds, which is exactly what the Chrome [trace_event] format
+    wants (see {!Trace_export}).
+
+    The clock is injectable so tests can drive a deterministic one; the
+    default is {!Unix.gettimeofday}. *)
+
+type span = {
+  s_name : string;
+  s_ts_us : float;  (** start, µs since profiler creation *)
+  s_dur_us : float;  (** duration in µs *)
+  s_depth : int;  (** nesting depth, 0 = top level *)
+}
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh profiler.  [clock] returns seconds; it need only be
+    monotone non-decreasing. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span.  The span is recorded
+    even when [f] raises; spans nest to any depth. *)
+
+val probe_span : t -> string -> (unit -> 'a) -> 'a
+(** Same as {!with_span}; a separate name so it can be used directly as
+    the polymorphic [pr_span] field of {!Scald_core.Verifier.probe}. *)
+
+val mark : t -> string -> unit
+(** Record an instantaneous (zero-duration) span. *)
+
+val spans : t -> span list
+(** All completed spans, in order of completion time. *)
+
+val total_us : t -> string -> float
+(** Summed duration of every completed span with the given name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented text rendering, one line per span. *)

@@ -1,0 +1,43 @@
+let esc = Counters.json_string
+
+let us x = Printf.sprintf "%.1f" x
+
+(* Complete ("X") events on one thread nest by containment, so a single
+   tid renders the phase tree correctly. *)
+let span_event ~pid (s : Span.span) =
+  Printf.sprintf
+    "{\"name\": %s, \"ph\": \"X\", \"ts\": %s, \"dur\": %s, \"pid\": %d, \"tid\": %d, \
+     \"cat\": \"phase\"}"
+    (esc s.Span.s_name) (us s.Span.s_ts_us) (us s.Span.s_dur_us) pid 0
+
+let counter_event ~pid ~ts (name, value) =
+  Printf.sprintf
+    "{\"name\": %s, \"ph\": \"C\", \"ts\": %s, \"dur\": 0, \"pid\": %d, \"args\": \
+     {%s: %d}}"
+    (esc name) (us ts) pid (esc name) value
+
+let meta_event ~pid name =
+  Printf.sprintf
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"ts\": 0, \"dur\": 0, \"pid\": %d, \
+     \"args\": {\"name\": %s}}"
+    pid (esc name)
+
+let to_json ?(process_name = "scald_tv") ?(counters = []) prof =
+  let pid = 1 in
+  let spans = Span.spans prof in
+  let t_end =
+    List.fold_left
+      (fun acc (s : Span.span) -> Float.max acc (s.Span.s_ts_us +. s.Span.s_dur_us))
+      0. spans
+  in
+  let events =
+    meta_event ~pid process_name
+    :: List.map (span_event ~pid) spans
+    @ List.map (counter_event ~pid ~ts:t_end) counters
+  in
+  "[\n  " ^ String.concat ",\n  " events ^ "\n]\n"
+
+let write_file ?process_name ?counters prof path =
+  let oc = open_out_bin path in
+  output_string oc (to_json ?process_name ?counters prof);
+  close_out oc

@@ -29,6 +29,7 @@ let () =
       ("wire-rule", Test_wire_rule.suite);
       ("physical", Test_physical.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
       ("misc", Test_misc.suite);
     ]

@@ -15,6 +15,29 @@ let test_verifier_pp () =
   Alcotest.(check bool) "case line" true (contains s "case 1");
   Alcotest.(check bool) "cross reference" true (contains s "ASSUMED STABLE")
 
+(* Regression: when a lint summary is attached to the report, [pp] must
+   render its counts and listing, plus the evaluator queue statistics. *)
+let test_verifier_pp_lint_and_obs () =
+  let c = Scald_cells.Circuits.register_file_example () in
+  let report =
+    Verifier.verify
+      ~lint:(fun _ ->
+        {
+          Verifier.ls_errors = 2;
+          ls_warnings = 1;
+          ls_infos = 0;
+          ls_listing = "LINT LISTING SENTINEL";
+        })
+      c.Scald_cells.Circuits.rf_netlist
+  in
+  let s = Format.asprintf "%a" Verifier.pp report in
+  Alcotest.(check bool) "lint counts rendered" true
+    (contains s "lint: 2 errors, 1 warnings, 0 infos");
+  Alcotest.(check bool) "lint listing rendered" true
+    (contains s "LINT LISTING SENTINEL");
+  Alcotest.(check bool) "queue stats rendered" true
+    (contains s "queue high-water mark:")
+
 let test_prob_pp () =
   let nl =
     Netlist.create
@@ -132,6 +155,7 @@ let test_eval_input_waveform_exposed () =
 let suite =
   [
     Alcotest.test_case "verifier pp" `Quick test_verifier_pp;
+    Alcotest.test_case "verifier pp lint+obs" `Quick test_verifier_pp_lint_and_obs;
     Alcotest.test_case "prob pp" `Quick test_prob_pp;
     Alcotest.test_case "modular pp" `Quick test_modular_pp;
     Alcotest.test_case "wire rule pp" `Quick test_wire_rule_pp;

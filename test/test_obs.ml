@@ -1,0 +1,452 @@
+(* The observability subsystem: span profiler, evaluator counters and
+   event hook, causal ring buffer and violation traces, and the two
+   JSON exporters (Chrome trace events, flat metrics). *)
+
+open Scald_core
+open Scald_obs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
+
+(* ---- a minimal JSON syntax checker --------------------------------------
+
+   The exporters hand-roll their JSON, so validity is worth an actual
+   parse rather than substring checks.  Accepts the RFC 8259 grammar
+   (sans \u surrogate pairing) and nothing trailing. *)
+
+let json_ok s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then advance () else fail := true
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else fail := true
+  in
+  let string_lit () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '"' ->
+        advance ();
+        fin := true
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
+            | _ -> fail := true);
+            if not !fail then advance ()
+          done
+        | _ -> fail := true)
+      | Some c when Char.code c < 0x20 -> fail := true
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let any = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        any := true;
+        advance ()
+      done;
+      if not !any then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let more = ref true in
+        while !more && not !fail do
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some '}' ->
+            advance ();
+            more := false
+          | _ ->
+            fail := true;
+            more := false
+        done
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let more = ref true in
+        while !more && not !fail do
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some ']' ->
+            advance ();
+            more := false
+          | _ ->
+            fail := true;
+            more := false
+        done
+      end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail := true);
+    skip_ws ()
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let test_json_checker_sanity () =
+  Alcotest.(check bool) "object" true (json_ok {|{"a": 1, "b": [true, null, "x\n"]}|});
+  Alcotest.(check bool) "trailing junk" false (json_ok "{} x");
+  Alcotest.(check bool) "bare comma" false (json_ok "[1,]");
+  Alcotest.(check bool) "unterminated" false (json_ok {|{"a": "b|})
+
+(* ---- span profiler ------------------------------------------------------- *)
+
+let fake_clock () =
+  let t = ref 0.0 in
+  ( (fun () -> !t),
+    fun dt -> t := !t +. dt )
+
+let test_span_nesting () =
+  let clock, tick = fake_clock () in
+  let prof = Span.create ~clock () in
+  let r =
+    Span.with_span prof "outer" (fun () ->
+        tick 0.001;
+        Span.with_span prof "inner" (fun () ->
+            tick 0.002;
+            17))
+  in
+  Alcotest.(check int) "value through" 17 r;
+  match Span.spans prof with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner name" "inner" inner.Span.s_name;
+    Alcotest.(check string) "outer name" "outer" outer.Span.s_name;
+    Alcotest.(check int) "inner depth" 1 inner.Span.s_depth;
+    Alcotest.(check int) "outer depth" 0 outer.Span.s_depth;
+    Alcotest.(check (float 1.0)) "inner dur" 2000. inner.Span.s_dur_us;
+    Alcotest.(check (float 1.0)) "outer dur" 3000. outer.Span.s_dur_us;
+    Alcotest.(check (float 1.0)) "inner starts after outer" 1000. inner.Span.s_ts_us;
+    Alcotest.(check (float 1.0)) "total" 3000. (Span.total_us prof "outer")
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_records_on_raise () =
+  let clock, tick = fake_clock () in
+  let prof = Span.create ~clock () in
+  (try
+     Span.with_span prof "boom" (fun () ->
+         tick 0.004;
+         failwith "x")
+   with Failure _ -> ());
+  match Span.spans prof with
+  | [ s ] ->
+    Alcotest.(check string) "name" "boom" s.Span.s_name;
+    Alcotest.(check (float 1.0)) "dur" 4000. s.Span.s_dur_us;
+    Alcotest.(check int) "depth restored" 0 s.Span.s_depth
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* ---- evaluator counters and hook ------------------------------------------ *)
+
+let two_buf_circuit () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let a = Netlist.signal nl "A .S0-4" in
+  let n1 = Netlist.signal nl "N1" in
+  let q = Netlist.signal nl "Q" in
+  let ck = Netlist.signal nl "CK .P7-8" in
+  ignore
+    (Netlist.add nl ~name:"B1"
+       (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 })
+       ~inputs:[ Netlist.conn a ] ~output:(Some n1));
+  ignore
+    (Netlist.add nl ~name:"B2"
+       (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 })
+       ~inputs:[ Netlist.conn n1 ] ~output:(Some q));
+  ignore
+    (Netlist.add nl ~name:"CHK"
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 30.0; hold = Timebase.ps_of_ns 1.0 })
+       ~inputs:[ Netlist.conn q; Netlist.conn ck ]
+       ~output:None);
+  nl
+
+let test_counters () =
+  let nl = two_buf_circuit () in
+  let ev = Eval.create nl in
+  Eval.run ev;
+  let c = Eval.counters ev in
+  Alcotest.(check int) "events match accessor" (Eval.events ev) c.Eval.c_events;
+  Alcotest.(check int) "evals match accessor" (Eval.evaluations ev)
+    c.Eval.c_evaluations;
+  Alcotest.(check bool) "queued >= events" true (c.Eval.c_queued >= c.Eval.c_events);
+  Alcotest.(check bool) "hwm positive" true (c.Eval.c_queue_hwm >= 1);
+  Alcotest.(check bool) "coalesced non-negative" true (c.Eval.c_coalesced >= 0);
+  Alcotest.(check int) "per-kind sums to total" c.Eval.c_evaluations
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 c.Eval.c_evals_by_kind);
+  Alcotest.(check bool) "BUF kind counted" true
+    (match List.assoc_opt "BUF" c.Eval.c_evals_by_kind with
+    | Some n -> n >= 2
+    | None -> false);
+  Eval.reset_counters ev;
+  let c = Eval.counters ev in
+  Alcotest.(check int) "reset events" 0 c.Eval.c_events;
+  Alcotest.(check int) "reset hwm" 0 c.Eval.c_queue_hwm;
+  Alcotest.(check (list (pair string int))) "reset kinds" [] c.Eval.c_evals_by_kind
+
+let test_event_hook () =
+  let nl = two_buf_circuit () in
+  let ev = Eval.create nl in
+  let calls = ref 0 in
+  Alcotest.(check bool) "hook off by default" true (Eval.event_hook ev = None);
+  Eval.set_event_hook ev (Some (fun ~inst_id:_ ~net_id:_ -> incr calls));
+  Eval.run ev;
+  Alcotest.(check int) "one call per event" (Eval.events ev) !calls;
+  Alcotest.(check bool) "events happened" true (!calls > 0);
+  Eval.set_event_hook ev None;
+  Alcotest.(check bool) "hook cleared" true (Eval.event_hook ev = None)
+
+(* ---- causal ring ---------------------------------------------------------- *)
+
+let test_ring_bounds () =
+  let r = Causal.create ~capacity:3 in
+  for i = 0 to 9 do
+    Causal.record r ~inst_id:i ~net_id:(100 + i)
+  done;
+  Alcotest.(check int) "total recorded" 10 (Causal.recorded r);
+  let evs = Causal.events r in
+  Alcotest.(check int) "bounded" 3 (List.length evs);
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 7; 8; 9 ]
+    (List.map (fun e -> e.Causal.e_seq) evs);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Causal.create: capacity must be >= 1") (fun () ->
+      ignore (Causal.create ~capacity:0))
+
+let test_causal_chain () =
+  let nl = two_buf_circuit () in
+  let ev = Eval.create nl in
+  let ring = Causal.create ~capacity:64 in
+  Eval.set_event_hook ev (Some (Causal.hook ring));
+  Eval.run ev;
+  Alcotest.(check int) "ring saw every event" (Eval.events ev)
+    (Causal.recorded ring);
+  let steps = Causal.explain_signal ring nl "Q" in
+  Alcotest.(check bool) "chain found" true (List.length steps >= 2);
+  let last = List.nth steps (List.length steps - 1) in
+  Alcotest.(check string) "chain ends at Q" "Q" last.Causal.st_net;
+  Alcotest.(check string) "driven by B2" "B2" last.Causal.st_inst;
+  Alcotest.(check string) "primitive named" "BUF" last.Causal.st_prim;
+  let first = List.hd steps in
+  Alcotest.(check string) "root cause is N1" "N1" first.Causal.st_net;
+  Alcotest.(check bool) "root precedes final" true
+    (first.Causal.st_seq < last.Causal.st_seq);
+  Alcotest.(check bool) "edge time attached" true (last.Causal.st_at_ns <> None)
+
+let test_explain_violation () =
+  let nl = two_buf_circuit () in
+  let obs = Obs.create ~trace_buffer:64 () in
+  let report = Verifier.verify ~probe:(Obs.probe obs) nl in
+  Alcotest.(check bool) "setup violation present" true
+    (report.Verifier.r_violations <> []);
+  let v = List.hd report.Verifier.r_violations in
+  let ring = match Obs.ring obs with Some r -> r | None -> assert false in
+  let steps = Causal.explain ring nl v in
+  Alcotest.(check bool) "violation explained" true (steps <> []);
+  let listing = Obs.explain_all obs nl report.Verifier.r_violations in
+  Alcotest.(check int) "one block per violation"
+    (List.length report.Verifier.r_violations)
+    (count_substring listing "EXPLAIN ");
+  Alcotest.(check bool) "names the driving primitive" true (contains listing "B2")
+
+let test_explain_without_tracing () =
+  let nl = two_buf_circuit () in
+  let obs = Obs.create () in
+  let report = Verifier.verify ~probe:(Obs.probe obs) nl in
+  Alcotest.(check bool) "no ring allocated" true (Obs.ring obs = None);
+  Alcotest.(check bool) "evaluator hook stayed off" true
+    (Eval.event_hook report.Verifier.r_eval = None);
+  let listing = Obs.explain_all obs nl report.Verifier.r_violations in
+  Alcotest.(check int) "blocks still printed"
+    (List.length report.Verifier.r_violations)
+    (count_substring listing "EXPLAIN ");
+  Alcotest.(check bool) "degrades to the note" true
+    (contains listing "no recorded events")
+
+(* ---- verifier probe and r_obs --------------------------------------------- *)
+
+let test_probe_spans_and_r_obs () =
+  let nl = two_buf_circuit () in
+  let clock, _ = fake_clock () in
+  let obs = Obs.create ~clock ~trace_buffer:16 () in
+  let report =
+    Verifier.verify ~probe:(Obs.probe obs)
+      ~lint:(fun _ ->
+        { Verifier.ls_errors = 0; ls_warnings = 0; ls_infos = 0; ls_listing = "" })
+      nl
+  in
+  let names = List.map (fun s -> s.Span.s_name) (Span.spans (Obs.profiler obs)) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " span present") true
+        (List.mem expected names))
+    [ "lint"; "evaluate:case1"; "check:case1" ];
+  Alcotest.(check int) "r_obs queued matches counters"
+    (Eval.counters report.Verifier.r_eval).Eval.c_queued
+    report.Verifier.r_obs.Verifier.os_queued;
+  Alcotest.(check bool) "r_obs hwm positive" true
+    (report.Verifier.r_obs.Verifier.os_queue_hwm >= 1);
+  Alcotest.(check bool) "r_obs kinds populated" true
+    (report.Verifier.r_obs.Verifier.os_evals_by_kind <> [])
+
+let test_r_obs_without_probe () =
+  let nl = two_buf_circuit () in
+  let report = Verifier.verify nl in
+  Alcotest.(check bool) "counters carried with no probe" true
+    (report.Verifier.r_obs.Verifier.os_queued > 0);
+  Alcotest.(check bool) "hook never installed" true
+    (Eval.event_hook report.Verifier.r_eval = None)
+
+(* ---- exporters ------------------------------------------------------------- *)
+
+let test_metrics_json () =
+  let nl = two_buf_circuit () in
+  let obs = Obs.create ~trace_buffer:16 () in
+  let report = Verifier.verify ~probe:(Obs.probe obs) nl in
+  let m = Obs.metrics obs ~report in
+  Alcotest.(check int) "events counter" report.Verifier.r_events
+    (Counters.counter m "events");
+  Alcotest.(check int) "hwm counter"
+    report.Verifier.r_obs.Verifier.os_queue_hwm
+    (Counters.counter m "queue_hwm");
+  Alcotest.(check bool) "phases captured" true
+    (List.mem_assoc "evaluate:case1" m.Counters.m_phases);
+  let json = Counters.to_json m in
+  Alcotest.(check bool) "valid json" true (json_ok json);
+  List.iter
+    (fun key -> Alcotest.(check bool) (key ^ " present") true (contains json key))
+    [
+      "\"schema\"";
+      "\"events\"";
+      "\"evaluations\"";
+      "\"queue_hwm\"";
+      "\"events_coalesced\"";
+      "\"converged\"";
+      "\"evals_by_kind\"";
+      "\"phases_s\"";
+    ]
+
+let test_trace_json () =
+  let clock, tick = fake_clock () in
+  let prof = Span.create ~clock () in
+  Span.with_span prof "expand \"quoted\"" (fun () ->
+      tick 0.001;
+      Span.with_span prof "evaluate" (fun () -> tick 0.002));
+  let json = Trace_export.to_json ~counters:[ ("events", 42) ] prof in
+  Alcotest.(check bool) "valid json" true (json_ok json);
+  Alcotest.(check bool) "array shape" true (String.length json > 0 && json.[0] = '[');
+  List.iter
+    (fun key -> Alcotest.(check bool) (key ^ " present") true (contains json key))
+    [ "\"ph\": \"X\""; "\"ph\": \"C\""; "\"ts\":"; "\"dur\":"; "\"name\":" ];
+  Alcotest.(check bool) "escapes names" true (contains json "expand \\\"quoted\\\"");
+  Alcotest.(check bool) "counter value" true (contains json "{\"events\": 42}")
+
+let test_json_string_escaping () =
+  Alcotest.(check string) "plain" "\"abc\"" (Counters.json_string "abc");
+  Alcotest.(check string) "specials" "\"a\\\"b\\\\c\\nd\""
+    (Counters.json_string "a\"b\\c\nd");
+  Alcotest.(check string) "control" "\"\\u0001\"" (Counters.json_string "\x01");
+  Alcotest.(check bool) "result parses" true (json_ok (Counters.json_string "a\"b\\c\nd\x01"))
+
+(* ---- the underconstrained example (acceptance shape) ----------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_underconstrained_explain () =
+  match Scald_sdl.Expander.load (read_file "../examples/underconstrained.sdl") with
+  | Error e -> Alcotest.failf "expander: %s" e
+  | Ok { Scald_sdl.Expander.e_netlist = nl; _ } ->
+    let obs = Obs.create ~trace_buffer:4096 () in
+    let report = Verifier.verify ~probe:(Obs.probe obs) nl in
+    Alcotest.(check bool) "violations exist" true
+      (report.Verifier.r_violations <> []);
+    let listing = Obs.explain_all obs nl report.Verifier.r_violations in
+    Alcotest.(check int) "a causal block for every violation"
+      (List.length report.Verifier.r_violations)
+      (count_substring listing "EXPLAIN ")
+
+let suite =
+  [
+    Alcotest.test_case "json-checker-sanity" `Quick test_json_checker_sanity;
+    Alcotest.test_case "span-nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span-records-on-raise" `Quick test_span_records_on_raise;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "event-hook" `Quick test_event_hook;
+    Alcotest.test_case "ring-bounds" `Quick test_ring_bounds;
+    Alcotest.test_case "causal-chain" `Quick test_causal_chain;
+    Alcotest.test_case "explain-violation" `Quick test_explain_violation;
+    Alcotest.test_case "explain-without-tracing" `Quick test_explain_without_tracing;
+    Alcotest.test_case "probe-spans-and-r-obs" `Quick test_probe_spans_and_r_obs;
+    Alcotest.test_case "r-obs-without-probe" `Quick test_r_obs_without_probe;
+    Alcotest.test_case "metrics-json" `Quick test_metrics_json;
+    Alcotest.test_case "trace-json" `Quick test_trace_json;
+    Alcotest.test_case "json-string-escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "underconstrained-explain" `Quick test_underconstrained_explain;
+  ]

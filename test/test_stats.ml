@@ -51,9 +51,32 @@ let test_value_records () =
   (* 5-field base + 3 fields per record, 4 bytes per field *)
   Alcotest.(check (float 0.01)) "bytes formula" ((5. +. (3. *. mean)) *. 4.) bytes
 
+(* [storage_of] must also work before any evaluation: every net still
+   holds its initial one-segment Unknown waveform, so the accounting
+   sees exactly one value record per signal value list. *)
+let test_storage_unevaluated () =
+  let c = Circuits.register_file_example () in
+  let nl = c.Circuits.rf_netlist in
+  let s = Stats.storage_of nl in
+  Alcotest.(check bool) "total positive" true (Stats.total s > 0);
+  Alcotest.(check bool) "signal values accounted" true (s.Stats.signal_values > 0);
+  Alcotest.(check (float 0.0001)) "one record per unevaluated signal" 1.0
+    (Stats.value_records_per_signal nl);
+  Alcotest.(check (float 0.01)) "bytes formula holds unevaluated"
+    ((5. +. 3.) *. 4.)
+    (Stats.bytes_per_signal_value nl);
+  (* evaluation only grows the waveform storage *)
+  ignore (Verifier.verify nl);
+  let s' = Stats.storage_of nl in
+  Alcotest.(check bool) "evaluation grows signal values" true
+    (s'.Stats.signal_values >= s.Stats.signal_values);
+  Alcotest.(check int) "static sections unchanged" s.Stats.circuit_description
+    s'.Stats.circuit_description
+
 let suite =
   [
     Alcotest.test_case "census" `Quick test_census;
+    Alcotest.test_case "storage unevaluated" `Quick test_storage_unevaluated;
     Alcotest.test_case "unvectored" `Quick test_unvectored;
     Alcotest.test_case "storage consistency" `Quick test_storage_consistency;
     Alcotest.test_case "value records" `Quick test_value_records;

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a small JSON-Schema subset.
+
+Usage: check_schema.py SCHEMA.json DOCUMENT.json
+
+Supports the keywords the checked-in schemas under doc/ actually use
+— type, enum, required, properties, additionalProperties, items,
+minItems, minimum — with no third-party dependencies, so it runs on a
+bare CI python3.  Exits 0 on success, 1 with a path-qualified message
+per failure otherwise.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass in python; JSON disagrees
+    return isinstance(value, TYPES[name])
+
+
+def validate(schema, value, path, errors):
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {'/'.join(names)}, got {type(value).__name__}")
+            return  # the structural keywords below assume the type matched
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']!r}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                validate(props[key], sub, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(extra, dict):
+                validate(extra, sub, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                validate(items, sub, f"{path}[{i}]", errors)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    try:
+        with open(sys.argv[2]) as f:
+            document = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{sys.argv[2]}: not valid JSON: {e}")
+    errors = []
+    validate(schema, document, "$", errors)
+    if errors:
+        for e in errors:
+            print(f"{sys.argv[2]}: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{sys.argv[2]}: valid against {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()
