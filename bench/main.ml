@@ -435,7 +435,7 @@ let compare_path () =
         Path_analysis.violations pa ~max_delay:(Timebase.ps_of_ns (true_delay +. 0.5))
       in
       let cases =
-        if k <= 4 then Case_analysis.complete ch.Circuits.ch_controls
+        if k <= 4 then Case_analysis.complete_exn ch.Circuits.ch_controls
         else
           [
             List.map (fun c -> (c, Tvalue.V0)) ch.Circuits.ch_controls;
@@ -739,6 +739,89 @@ let obs_overhead () =
     report;
   if overhead >= budget then exit 1
 
+(* ---- parallel case evaluation ------------------------------------------------------------------------- *)
+
+(* Wall-clock timing: [Sys.time] sums CPU time over every domain, which
+   would report a parallel run as *slower* by construction. *)
+let wall_timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* Reports must agree field-for-field before any speedup is worth
+   reporting — a fast wrong answer is not an optimisation. *)
+let reports_equal (a : Verifier.report) (b : Verifier.report) =
+  let case_equal (x : Verifier.case_result) (y : Verifier.case_result) =
+    x.Verifier.cr_case = y.Verifier.cr_case
+    && x.Verifier.cr_violations = y.Verifier.cr_violations
+    && x.Verifier.cr_events = y.Verifier.cr_events
+    && x.Verifier.cr_evaluations = y.Verifier.cr_evaluations
+    && x.Verifier.cr_converged = y.Verifier.cr_converged
+  in
+  a.Verifier.r_events = b.Verifier.r_events
+  && a.Verifier.r_evaluations = b.Verifier.r_evaluations
+  && a.Verifier.r_violations = b.Verifier.r_violations
+  && a.Verifier.r_converged = b.Verifier.r_converged
+  && a.Verifier.r_unasserted = b.Verifier.r_unasserted
+  && a.Verifier.r_obs = b.Verifier.r_obs
+  && List.length a.Verifier.r_cases = List.length b.Verifier.r_cases
+  && List.for_all2 case_equal a.Verifier.r_cases b.Verifier.r_cases
+
+let par_speedup () =
+  section "PARALLEL CASE EVALUATION: -j 4 vs sequential, 16-case workload";
+  let d = Netgen.generate (Netgen.scaled ~chips:2000 ()) in
+  let e = Netgen.to_netlist d in
+  let nl = e.Scald_sdl.Expander.e_netlist in
+  (* 16 cases: complete case analysis over four of the design's primary
+     inputs (the fig-2-6 workload shape, at netgen scale). *)
+  let inputs =
+    let found = ref [] in
+    Netlist.iter_nets nl (fun n ->
+        if List.length !found < 4
+           && String.length n.Netlist.n_name >= 3
+           && String.sub n.Netlist.n_name 0 3 = "IN "
+        then found := n.Netlist.n_name :: !found);
+    List.rev !found
+  in
+  let cases = Case_analysis.complete_exn inputs in
+  Printf.printf "  workload: %d chips, %d cases over %s\n"
+    (Netgen.n_chips d) (List.length cases) (String.concat ", " inputs);
+  let best jobs =
+    let rec go n acc =
+      if n = 0 then acc
+      else
+        let _, t = wall_timed (fun () -> ignore (Verifier.verify ~cases ~jobs nl)) in
+        go (n - 1) (Float.min acc t)
+    in
+    go 3 infinity
+  in
+  (* reports compared once, un-timed; timing runs are then pure *)
+  let r1 = Verifier.verify ~cases ~jobs:1 nl in
+  let r4 = Verifier.verify ~cases ~jobs:4 nl in
+  let equal = reports_equal r1 r4 in
+  Printf.printf "  report identical to sequential at -j 4: %s\n"
+    (if equal then "PASS" else "FAIL");
+  let t1 = best 1 in
+  let t4 = best 4 in
+  let speedup = t1 /. Float.max 1e-9 t4 in
+  Printf.printf "  %-44s %10.4f s\n" "sequential (-j 1), best of 3" t1;
+  Printf.printf "  %-44s %10.4f s\n" "parallel (-j 4), best of 3" t4;
+  Printf.printf "  %-44s %9.2fx\n" "speedup" speedup;
+  emit_bench_metrics "par-speedup"
+    ~phases:[ ("verify_j1", t1); ("verify_j4", t4) ]
+    r4;
+  if not equal then exit 1;
+  (* The speedup gate only binds where 4 domains can actually run at
+     once; the equality gate above binds everywhere. *)
+  let cores = Par.available () in
+  if cores >= 4 then begin
+    Printf.printf "\n  speedup budget > 1.00x on %d cores: %s\n" cores
+      (if speedup > 1.0 then "PASS" else "FAIL");
+    if speedup <= 1.0 then exit 1
+  end
+  else
+    Printf.printf "\n  speedup gate skipped: only %d core(s) available\n" cores
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -852,6 +935,7 @@ let experiments =
     ("scaling", scaling);
     ("lint-throughput", lint_throughput);
     ("obs-overhead", obs_overhead);
+    ("par-speedup", par_speedup);
   ]
 
 let () =

@@ -14,8 +14,8 @@ let read_file path =
   close_in ic;
   s
 
-let run file case_file summary xref quiet paths corr_advice prob slack diagram vcd_out
-    phys lint lint_only lint_fatal lint_json profile_out metrics_out explain
+let run file case_file jobs summary xref quiet paths corr_advice prob slack diagram
+    vcd_out phys lint lint_only lint_fatal lint_json profile_out metrics_out explain
     trace_buffer =
   (* The observability layer is built only when asked for; with every
      obs flag off the verifier sees no probe and the evaluator's event
@@ -93,7 +93,9 @@ let run file case_file summary xref quiet paths corr_advice prob slack diagram v
       | Some cf -> Case_analysis.parse_exn (read_file cf)
     in
     let report =
-      Verifier.verify ?probe:(Option.map Scald_obs.Obs.probe obs) ~cases nl
+      Verifier.verify
+        ?probe:(Option.map Scald_obs.Obs.probe obs)
+        ~cases ~jobs:(max 0 jobs) nl
     in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
@@ -164,6 +166,15 @@ let file =
 let case_file =
   let doc = "Case-analysis specification file (e.g. \"CONTROL = 0; CONTROL = 1;\")." in
   Arg.(value & opt (some file) None & info [ "c"; "cases" ] ~docv:"CASES" ~doc)
+
+let jobs =
+  let doc =
+    "Evaluate the cases on $(docv) parallel domains (0 = one per available \
+     core).  Any value produces the identical report; above 1 the case list \
+     is sharded over private evaluator copies, each warm-started from its \
+     shard's predecessor case."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let summary =
   let doc = "Print the signal-value timing summary (Figure 3-10 style)." in
@@ -285,7 +296,7 @@ let cmd =
   Cmd.v
     (Cmd.info "scald_tv" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ file $ case_file $ summary $ xref $ quiet $ paths $ corr_advice
+      const run $ file $ case_file $ jobs $ summary $ xref $ quiet $ paths $ corr_advice
       $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only $ lint_fatal
       $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer)
 

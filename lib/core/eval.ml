@@ -436,9 +436,14 @@ let eval_inst t inst_id =
       end)
 
 let fixpoint t =
+  (* The bound is a per-run budget (counted from this run's start), not
+     a lifetime one: every case gets the same headroom regardless of its
+     position in the case list, so convergence of a case is independent
+     of evaluation order. *)
   let bound = max 10_000 (Netlist.n_insts t.nl * 200) in
+  let start = t.evals in
   let rec loop () =
-    if t.evals > bound then t.converged <- false
+    if t.evals - start > bound then t.converged <- false
     else
       match Queue.take_opt t.queue with
       | None -> ()

@@ -46,6 +46,10 @@ val evaluations : t -> int
 (** Number of primitive evaluations performed so far. *)
 
 val converged : t -> bool
+(** Whether the {e most recent} {!run} reached a fixpoint within the
+    evaluation bound.  Reset at the start of every run — callers
+    tracking convergence across a case list must sample it after each
+    case (see {!Verifier.case_result.cr_converged}). *)
 
 val reset_counters : t -> unit
 

@@ -157,6 +157,16 @@ let add t ?name prim ~inputs ~output =
   t.n_insts <- t.n_insts + 1;
   i
 
+(* Net records carry the mutable evaluation state (n_value, n_eval_str),
+   so a copy gets fresh records; instance records and waveforms are
+   immutable after construction and safely shared across domains. *)
+let copy t =
+  {
+    t with
+    nets = Array.map (fun n -> { n with n_id = n.n_id }) t.nets;
+    by_name = Hashtbl.copy t.by_name;
+  }
+
 let net t id = t.nets.(id)
 let inst t id = t.insts.(id)
 let find t name = Hashtbl.find_opt t.by_name name

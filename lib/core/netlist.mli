@@ -81,6 +81,13 @@ val add : t -> ?name:string -> Primitive.t -> inputs:conn list -> output:int opt
     primitive, if a checker is given an output, if a non-checker lacks
     one, or if the output net already has a driver. *)
 
+val copy : t -> t
+(** A structural copy with fresh net records, for evaluating the same
+    circuit on several domains at once: net ids, instance ids and names
+    are identical to the original, but the per-net evaluation state
+    ([n_value], [n_eval_str]) is private to the copy.  Instance records
+    and waveform values are immutable and shared. *)
+
 val net : t -> int -> net
 val inst : t -> int -> inst
 val find : t -> string -> int option

@@ -1,0 +1,33 @@
+(* A minimal fork/join shard scheduler over OCaml 5 domains.
+
+   Spawning a domain costs real time (stack + minor heap), so callers
+   shard work into at most [jobs] coarse pieces rather than spawning
+   per item; shard 0 always runs on the calling domain, so [jobs = n]
+   spawns only [n - 1] domains. *)
+
+let available () = Domain.recommended_domain_count ()
+
+let shards ~jobs n =
+  if n < 0 then invalid_arg "Par.shards: negative item count";
+  let jobs = max 1 (min jobs n) in
+  Array.init jobs (fun k -> (k * n / jobs, (k + 1) * n / jobs))
+
+let run ~jobs f =
+  if jobs < 1 then invalid_arg "Par.run: jobs must be >= 1";
+  if jobs = 1 then [| f 0 |]
+  else begin
+    (* Capture worker exceptions as values so every domain is joined
+       before any re-raise — no domain is left running against state
+       the caller is about to unwind. *)
+    let wrap k () =
+      try Ok (f k) with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    let workers = Array.init (jobs - 1) (fun k -> Domain.spawn (wrap (k + 1))) in
+    let first = wrap 0 () in
+    let rest = Array.map Domain.join workers in
+    Array.map
+      (function
+        | Ok r -> r
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      (Array.append [| first |] rest)
+  end

@@ -1,0 +1,25 @@
+(** Fork/join shard scheduling over OCaml 5 domains.
+
+    The verifier's unit of parallelism is a {e shard} — a contiguous
+    block of cases owned by one domain — because per-case warm-start
+    incrementality (§2.7) only pays off within a sequential run.  This
+    module is deliberately tiny: block sharding plus an exception-safe
+    spawn/join, nothing long-lived. *)
+
+val available : unit -> int
+(** Domains this host can usefully run at once
+    ({!Domain.recommended_domain_count}). *)
+
+val shards : jobs:int -> int -> (int * int) array
+(** [shards ~jobs n] splits [0..n-1] into at most [jobs] contiguous
+    half-open blocks [(lo, hi)], balanced to within one item, in index
+    order.  Never returns more blocks than items; at least one block
+    (possibly empty) is returned when [n = 0]. *)
+
+val run : jobs:int -> (int -> 'a) -> 'a array
+(** [run ~jobs f] evaluates [f 0 .. f (jobs-1)] concurrently — [f 0] on
+    the calling domain, the rest on freshly spawned domains — and
+    returns the results in index order.  Every domain is joined before
+    returning; if any [f k] raised, the first such exception (by index)
+    is re-raised with its backtrace after the join.
+    @raise Invalid_argument when [jobs < 1]. *)

@@ -3,6 +3,7 @@ type case_result = {
   cr_violations : Check.t list;
   cr_events : int;
   cr_evaluations : int;
+  cr_converged : bool;
 }
 
 type lint_summary = {
@@ -34,6 +35,7 @@ type report = {
   r_lint : lint_summary option;
   r_obs : obs_summary;
   r_eval : Eval.t;
+  r_jobs : int;
 }
 
 (* Deduplicate on the full violation record: two reports of the same
@@ -50,14 +52,36 @@ let dedup_violations vs =
       end)
     vs
 
-let verify ?lint ?probe ?(cases = []) nl =
+let obs_of_counters (c : Eval.counters) =
+  {
+    os_queued = c.Eval.c_queued;
+    os_coalesced = c.Eval.c_coalesced;
+    os_queue_hwm = c.Eval.c_queue_hwm;
+    os_evals_by_kind = c.Eval.c_evals_by_kind;
+  }
+
+(* Sum two per-kind evaluation-count alists, keeping the alphabetical
+   order Eval.counters guarantees. *)
+let merge_by_kind a b =
+  let rec go a b =
+    match a, b with
+    | [], rest | rest, [] -> rest
+    | (ka, va) :: ra, (kb, vb) :: rb ->
+      let c = String.compare ka kb in
+      if c = 0 then (ka, va + vb) :: go ra rb
+      else if c < 0 then (ka, va) :: go ra b
+      else (kb, vb) :: go a rb
+  in
+  go a b
+
+(* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
+
+let verify_sequential ~probe ~case_list nl =
+  (* [span] must stay let-bound polymorphic (it wraps both unit and
+     list-returning phases), so each engine rebuilds it from [probe]
+     rather than taking it as a (monomorphic) argument. *)
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
-  in
-  let lint_summary =
-    match lint with
-    | None -> None
-    | Some f -> Some (span "lint" (fun () -> f nl))
   in
   let ev = Eval.create nl in
   (match probe with
@@ -76,29 +100,152 @@ let verify ?lint ?probe ?(cases = []) nl =
       cr_violations = violations;
       cr_events = Eval.events ev - before_events;
       cr_evaluations = Eval.evaluations ev - before_evals;
+      (* sampled per case: a later converging case must not mask an
+         earlier one that hit the evaluation bound *)
+      cr_converged = Eval.converged ev;
     }
   in
-  let case_list = match cases with [] -> [ [] ] | cs -> cs in
   let results = List.mapi run_case case_list in
+  (results, Eval.counters ev, ev)
+
+(* ---- the domain-parallel engine (jobs > 1) -------------------------------- *)
+
+(* Cases are sharded into contiguous blocks, one private evaluator (on a
+   private netlist copy) per domain.  A shard that does not start at
+   case 1 first evaluates its predecessor case un-measured, so every
+   measured case starts from exactly the state the sequential run would
+   have given it — per-case event counts, violations and the merged
+   counters are then identical to [jobs:1] (doc/PARALLEL.md). *)
+let verify_parallel ~probe ~case_list ~jobs nl =
+  let span : 'a. string -> (unit -> 'a) -> 'a =
+   fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
+  in
+  let case_arr = Array.of_list case_list in
+  let n = Array.length case_arr in
+  (* Resolve in the parent: name errors surface before any domain is
+     spawned, and net ids are identical in every copy. *)
+  let resolved = Array.map (Case_analysis.resolve nl) case_arr in
+  let shards = Par.shards ~jobs n in
+  let jobs = Array.length shards in
+  (* Copies are taken before any evaluation so no domain ever reads net
+     state another is writing; shard 0 keeps the caller's netlist, so
+     [r_eval] observes it exactly as in the sequential run. *)
+  let netlists =
+    Array.init jobs (fun k -> if k = 0 then nl else Netlist.copy nl)
+  in
+  let record_events =
+    match probe with Some { pr_event = Some _; _ } -> true | _ -> false
+  in
+  let run_shard k =
+    let lo, hi = shards.(k) in
+    let ev = Eval.create netlists.(k) in
+    if lo > 0 then begin
+      (* warm-start priming: un-measured, un-hooked, un-counted *)
+      Eval.run ~case:resolved.(lo - 1) ev;
+      Eval.reset_counters ev
+    end;
+    let buf = ref [] in
+    if record_events then
+      Eval.set_event_hook ev
+        (Some (fun ~inst_id ~net_id -> buf := (inst_id, net_id) :: !buf));
+    let results =
+      List.init (hi - lo) (fun j ->
+          let i = lo + j in
+          buf := [];
+          let before_events = Eval.events ev
+          and before_evals = Eval.evaluations ev in
+          Eval.run ~case:resolved.(i) ev;
+          let violations = Eval.check ev in
+          ( {
+              cr_case = case_arr.(i);
+              cr_violations = violations;
+              cr_events = Eval.events ev - before_events;
+              cr_evaluations = Eval.evaluations ev - before_evals;
+              cr_converged = Eval.converged ev;
+            },
+            List.rev !buf ))
+    in
+    (results, Eval.counters ev, ev)
+  in
+  let shard_results =
+    span
+      (Printf.sprintf "evaluate:parallel(j%d)" jobs)
+      (fun () -> Par.run ~jobs run_shard)
+  in
+  (* Replay the per-domain event logs into the caller's hook from this
+     single domain, in case order — the stream an external consumer
+     (e.g. the causal ring) sees is the sequential one. *)
+  (match probe with
+  | Some { pr_event = Some h; _ } ->
+    span "merge:events" (fun () ->
+        Array.iter
+          (fun (results, _, _) ->
+            List.iter
+              (fun (_, events) ->
+                List.iter (fun (inst_id, net_id) -> h ~inst_id ~net_id) events)
+              results)
+          shard_results)
+  | Some { pr_event = None; _ } | None -> ());
+  let results =
+    List.concat_map (fun (rs, _, _) -> List.map fst rs) (Array.to_list shard_results)
+  in
+  let counters =
+    (* per-domain counter structs merged at join; no shared hot-path state *)
+    Array.fold_left
+      (fun acc (_, (c : Eval.counters), _) ->
+        {
+          Eval.c_events = acc.Eval.c_events + c.Eval.c_events;
+          c_evaluations = acc.Eval.c_evaluations + c.Eval.c_evaluations;
+          c_queued = acc.Eval.c_queued + c.Eval.c_queued;
+          c_coalesced = acc.Eval.c_coalesced + c.Eval.c_coalesced;
+          c_queue_hwm = max acc.Eval.c_queue_hwm c.Eval.c_queue_hwm;
+          c_evals_by_kind = merge_by_kind acc.Eval.c_evals_by_kind c.Eval.c_evals_by_kind;
+        })
+      {
+        Eval.c_events = 0;
+        c_evaluations = 0;
+        c_queued = 0;
+        c_coalesced = 0;
+        c_queue_hwm = 0;
+        c_evals_by_kind = [];
+      }
+      shard_results
+  in
+  (* The last shard ends having evaluated the final case, so its
+     evaluator holds the same fixpoint state as the sequential run's. *)
+  let _, _, last_ev = shard_results.(jobs - 1) in
+  (results, counters, last_ev)
+
+let verify ?lint ?probe ?(cases = []) ?(jobs = 1) nl =
+  if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
+  let span : 'a. string -> (unit -> 'a) -> 'a =
+   fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
+  in
+  let lint_summary =
+    match lint with
+    | None -> None
+    | Some f -> Some (span "lint" (fun () -> f nl))
+  in
+  let case_list = match cases with [] -> [ [] ] | cs -> cs in
+  let jobs = if jobs = 0 then Par.available () else jobs in
+  let jobs = max 1 (min jobs (List.length case_list)) in
+  let results, counters, ev =
+    if jobs = 1 then verify_sequential ~probe ~case_list nl
+    else verify_parallel ~probe ~case_list ~jobs nl
+  in
   let all = List.concat_map (fun r -> r.cr_violations) results in
-  let c = Eval.counters ev in
   {
     r_cases = results;
-    r_events = Eval.events ev;
-    r_evaluations = Eval.evaluations ev;
+    r_events = counters.Eval.c_events;
+    r_evaluations = counters.Eval.c_evaluations;
     r_violations = dedup_violations all;
-    r_converged = Eval.converged ev;
+    r_converged = List.for_all (fun r -> r.cr_converged) results;
     r_unasserted =
       List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
     r_lint = lint_summary;
-    r_obs =
-      {
-        os_queued = c.Eval.c_queued;
-        os_coalesced = c.Eval.c_coalesced;
-        os_queue_hwm = c.Eval.c_queue_hwm;
-        os_evals_by_kind = c.Eval.c_evals_by_kind;
-      };
+    r_obs = obs_of_counters counters;
     r_eval = ev;
+    r_jobs = jobs;
   }
 
 let clean r = r.r_violations = []
@@ -113,9 +260,10 @@ let pp ppf r =
     (if r.r_converged then "" else "   (DID NOT CONVERGE)");
   List.iteri
     (fun i c ->
-      Format.fprintf ppf "case %d [%a]: %d events, %d violations@," (i + 1) Case_analysis.pp
-        c.cr_case c.cr_events
-        (List.length c.cr_violations))
+      Format.fprintf ppf "case %d [%a]: %d events, %d violations%s@," (i + 1)
+        Case_analysis.pp c.cr_case c.cr_events
+        (List.length c.cr_violations)
+        (if c.cr_converged then "" else "   (DID NOT CONVERGE)"))
     r.r_cases;
   Format.fprintf ppf "queued: %d   coalesced: %d   queue high-water mark: %d@,"
     r.r_obs.os_queued r.r_obs.os_coalesced r.r_obs.os_queue_hwm;

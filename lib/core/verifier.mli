@@ -3,13 +3,25 @@
     Ties the evaluator, case analysis and checkers together: the first
     case is evaluated from scratch, then each further case re-evaluates
     only the affected part of the circuit; the violations of every case
-    are collected (§2.7, §2.9). *)
+    are collected (§2.7, §2.9).
+
+    With [?jobs] above 1 the case list is sharded over OCaml 5 domains,
+    each owning a private evaluator on a private {!Netlist.copy}; a
+    shard first replays its predecessor case un-measured so every
+    measured case starts from the state the sequential run would have
+    given it.  The report is identical to [jobs:1] for any job count —
+    violations and their order, per-case event counts, convergence
+    flags, merged counters (see [doc/PARALLEL.md]). *)
 
 type case_result = {
   cr_case : Case_analysis.case;  (** empty for the base case *)
   cr_violations : Check.t list;
   cr_events : int;  (** events processed for this case *)
   cr_evaluations : int;
+  cr_converged : bool;
+      (** whether evaluation of {e this} case reached a fixpoint within
+          the bound; sampled per case so a later converging case cannot
+          mask an earlier divergence *)
 }
 
 type lint_summary = {
@@ -54,19 +66,21 @@ type report = {
   r_events : int;  (** total events over all cases *)
   r_evaluations : int;
   r_violations : Check.t list;  (** deduplicated union over all cases *)
-  r_converged : bool;
+  r_converged : bool;  (** conjunction of [cr_converged] over all cases *)
   r_unasserted : string list;
       (** cross-reference of undriven, unasserted signals *)
   r_lint : lint_summary option;
       (** present when {!verify} was given a [?lint] hook *)
   r_obs : obs_summary;  (** evaluator counters (always present) *)
   r_eval : Eval.t;  (** final evaluator state, for summary listings *)
+  r_jobs : int;  (** effective parallelism the run actually used *)
 }
 
 val verify :
   ?lint:(Netlist.t -> lint_summary) ->
   ?probe:probe ->
   ?cases:Case_analysis.case list ->
+  ?jobs:int ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
@@ -74,7 +88,18 @@ val verify :
     per case.  When [lint] is given it is run over the netlist {e
     before} any evaluation and its summary carried in [r_lint].  When
     [probe] is given its span hook brackets every internal phase and its
-    event hook (if any) sees every evaluator event. *)
+    event hook (if any) sees every evaluator event.
+
+    [jobs] (default 1) is the number of domains to shard the cases
+    over; [0] means {!Par.available}.  It is clamped to the case count,
+    so small runs never over-spawn.  [jobs:1] is exactly the historical
+    sequential path.  With [jobs > 1] the lint hook and case resolution
+    still run on the calling domain; workers never call [pr_span] (the
+    parallel section is bracketed by single ["evaluate:parallel(jN)"]
+    and ["merge:events"] spans from the calling domain), and per-event
+    hook calls are buffered per domain and replayed in case order after
+    the join, so the event stream a consumer sees is the sequential one.
+    @raise Invalid_argument when [jobs < 0]. *)
 
 val clean : report -> bool
 (** No violations in any case. *)

@@ -17,6 +17,12 @@ let of_report ?(phases = []) (r : Verifier.report) =
         ("events_coalesced", r.Verifier.r_obs.Verifier.os_coalesced);
         ("queue_hwm", r.Verifier.r_obs.Verifier.os_queue_hwm);
         ("cases", List.length r.Verifier.r_cases);
+        ( "cases_diverged",
+          List.length
+            (List.filter
+               (fun (c : Verifier.case_result) -> not c.Verifier.cr_converged)
+               r.Verifier.r_cases) );
+        ("jobs", r.Verifier.r_jobs);
         ("violations", List.length r.Verifier.r_violations);
         ("unasserted", List.length r.Verifier.r_unasserted);
       ];

@@ -32,8 +32,69 @@ let test_parse_errors () =
   fails "A;";
   fails "= 0;"
 
+let test_parse_duplicate_assignment () =
+  (* "A = 0, A = 1" within one group: last write would silently win in
+     Eval.run, so the parser must reject it with the signal name. *)
+  (match Case_analysis.parse "A = 0, A = 1;" with
+  | Error e ->
+    Alcotest.(check bool) "message names the signal" true
+      (let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains e "duplicate" && contains e "A")
+  | Ok _ -> Alcotest.fail "duplicate assignment within a case must be rejected");
+  (* even with the same value twice *)
+  (match Case_analysis.parse "B = 1, B = 1;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repeated assignment within a case must be rejected");
+  (* but the same signal across two cases is the normal §2.7 idiom *)
+  match Case_analysis.parse "A = 0;\nA = 1;" with
+  | Ok cs -> Alcotest.(check int) "two cases" 2 (List.length cs)
+  | Error e -> Alcotest.failf "cross-case reuse must parse: %s" e
+
+let test_resolve_reports_all_unknowns () =
+  let nl = Netlist.create (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25) in
+  ignore (Netlist.signal nl "KNOWN .S0-8");
+  match
+    Case_analysis.resolve nl
+      [ ("MISSING ONE", Tvalue.V0); ("KNOWN .S0-8", Tvalue.V1); ("MISSING TWO", Tvalue.V1) ]
+  with
+  | exception Invalid_argument msg ->
+    let contains needle =
+      let nh = String.length msg and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub msg i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "first unknown named" true (contains "MISSING ONE");
+    Alcotest.(check bool) "second unknown named" true (contains "MISSING TWO")
+  | _ -> Alcotest.fail "unknown signals should fail"
+
+let test_complete_dedupes_names () =
+  (* complete ["A"; "A"] must not emit the contradictory A=0,A=1 case *)
+  let cases = Case_analysis.complete_exn [ "A"; "A" ] in
+  Alcotest.(check int) "2^1 cases after dedupe" 2 (List.length cases);
+  List.iter
+    (fun case -> Alcotest.(check int) "one assignment per case" 1 (List.length case))
+    cases
+
+let test_complete_limit () =
+  let names n = List.init n (Printf.sprintf "C%d") in
+  (match Case_analysis.complete (names (Case_analysis.max_controls + 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "17 controls must be rejected");
+  (* duplicates don't count against the limit *)
+  (match Case_analysis.complete (names Case_analysis.max_controls @ [ "C0"; "C1" ]) with
+  | Ok cs ->
+    Alcotest.(check int) "2^16 cases" (1 lsl Case_analysis.max_controls) (List.length cs)
+  | Error e -> Alcotest.failf "16 distinct controls must be accepted: %s" e);
+  match Case_analysis.complete_exn (names 17) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "complete_exn must raise past the limit"
+
 let test_complete () =
-  let cases = Case_analysis.complete [ "A"; "B" ] in
+  let cases = Case_analysis.complete_exn [ "A"; "B" ] in
   Alcotest.(check int) "2^2 cases" 4 (List.length cases);
   let distinct = List.sort_uniq compare cases in
   Alcotest.(check int) "all distinct" 4 (List.length distinct)
@@ -70,7 +131,11 @@ let suite =
     Alcotest.test_case "parse multi assignment" `Quick test_parse_multi_assignment_case;
     Alcotest.test_case "parse empty" `Quick test_parse_empty_and_whitespace;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse duplicate assignment" `Quick test_parse_duplicate_assignment;
+    Alcotest.test_case "resolve reports all unknowns" `Quick test_resolve_reports_all_unknowns;
     Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "complete dedupes names" `Quick test_complete_dedupes_names;
+    Alcotest.test_case "complete control limit" `Quick test_complete_limit;
     Alcotest.test_case "resolve" `Quick test_resolve;
     Alcotest.test_case "bypass delays 40 vs 30" `Quick test_bypass_delays;
   ]

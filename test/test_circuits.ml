@@ -78,7 +78,7 @@ let test_fig_4_1_false_error_and_corr () =
 let test_bypass_chain () =
   let ch = Circuits.bypass_chain ~stages:3 in
   Alcotest.(check int) "three controls" 3 (List.length ch.Circuits.ch_controls);
-  let cases = Case_analysis.complete ch.Circuits.ch_controls in
+  let cases = Case_analysis.complete_exn ch.Circuits.ch_controls in
   let report = Verifier.verify ~cases ch.Circuits.ch_netlist in
   Alcotest.(check (float 0.01)) "true delay 90 ns" 90.0
     (Circuits.chain_path_ns report ch);

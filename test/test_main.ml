@@ -25,6 +25,7 @@ let () =
       ("prob-analysis", Test_prob.suite);
       ("modular", Test_modular.suite);
       ("properties", Test_properties.suite);
+      ("par", Test_par.suite);
       ("reporting", Test_reporting.suite);
       ("wire-rule", Test_wire_rule.suite);
       ("physical", Test_physical.suite);

@@ -1,0 +1,292 @@
+(* Domain-parallel case evaluation: the jobs:N report must be
+   bit-identical to the sequential one, per-case convergence must not
+   mask a diverging case, and the §2.7 warm-start must match a fresh
+   evaluation of every case. *)
+
+open Scald_core
+
+let prop ?(count = 50) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ---- Par primitives -------------------------------------------------------- *)
+
+let test_shards () =
+  let check_cover ~jobs n =
+    let s = Par.shards ~jobs n in
+    let covered = Array.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 s in
+    Alcotest.(check int) (Printf.sprintf "covers %d items" n) n covered;
+    Array.iteri
+      (fun k (lo, hi) ->
+        Alcotest.(check bool) "contiguous" true
+          (lo <= hi && (k = 0 || snd s.(k - 1) = lo)))
+      s;
+    Array.iter
+      (fun (lo, hi) ->
+        Alcotest.(check bool) "balanced within one" true
+          (hi - lo >= n / Array.length s && hi - lo <= (n / Array.length s) + 1))
+      s
+  in
+  check_cover ~jobs:4 16;
+  check_cover ~jobs:4 17;
+  check_cover ~jobs:3 2;
+  check_cover ~jobs:1 5;
+  Alcotest.(check int) "never more shards than items" 2
+    (Array.length (Par.shards ~jobs:8 2));
+  Alcotest.(check int) "n = 0 still yields one block" 1
+    (Array.length (Par.shards ~jobs:4 0))
+
+let test_run () =
+  Alcotest.(check (array int)) "results in index order" [| 0; 10; 20; 30 |]
+    (Par.run ~jobs:4 (fun k -> k * 10));
+  Alcotest.check_raises "worker exception propagates" (Failure "shard 2")
+    (fun () -> ignore (Par.run ~jobs:3 (fun k ->
+         if k = 2 then failwith "shard 2" else k)))
+
+(* ---- Netlist.copy ------------------------------------------------------------ *)
+
+let test_copy_independent () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:5.0 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let i = Netlist.signal nl "IN .S0-8" in
+  let q = Netlist.signal nl "Q" in
+  ignore
+    (Netlist.add nl (Primitive.Buf { invert = true; delay = Delay.of_ns 1.0 2.0 })
+       ~inputs:[ Netlist.conn i ] ~output:(Some q));
+  let before = (Netlist.net nl q).Netlist.n_value in
+  let nl2 = Netlist.copy nl in
+  Alcotest.(check int) "same net count" (Netlist.n_nets nl) (Netlist.n_nets nl2);
+  Alcotest.(check (option int)) "same lookup" (Netlist.find nl "Q") (Netlist.find nl2 "Q");
+  let ev2 = Eval.create nl2 in
+  Eval.run ev2;
+  Alcotest.(check bool) "evaluating the copy leaves the original untouched" true
+    (Waveform.equal before (Netlist.net nl q).Netlist.n_value);
+  Alcotest.(check bool) "the copy itself was evaluated" false
+    (Waveform.equal before (Netlist.net nl2 q).Netlist.n_value)
+
+(* ---- a circuit that diverges under one case only ------------------------------- *)
+
+(* x = OR(AND(x delayed by 0.01 ns, CTL), PULSE): with CTL = 1 the V1
+   region grows 10 ps per relaxation pass, so the evaluator exceeds its
+   per-run budget long before the waveform fills the 50 ns period (a
+   legitimate "diverges" verdict); with CTL = 0 the AND cuts the loop
+   and it settles immediately. *)
+let slow_loop () =
+  let tb = Timebase.make ~period_ns:50.0 ~clock_unit_ns:5.0 in
+  let nl = Netlist.create tb ~default_wire_delay:Delay.zero in
+  let p = Netlist.signal nl "P .P(0,0)0-2" in
+  let ctl = Netlist.signal nl "CTL .S0-9" in
+  let x = Netlist.signal nl "X" in
+  let xd = Netlist.signal nl "XD" in
+  let a = Netlist.signal nl "A" in
+  ignore
+    (Netlist.add nl (Primitive.Buf { invert = false; delay = Delay.of_ns 0.01 0.01 })
+       ~inputs:[ Netlist.conn x ] ~output:(Some xd));
+  ignore
+    (Netlist.add nl
+       (Primitive.Gate { fn = Primitive.And; n_inputs = 2; invert = false; delay = Delay.zero })
+       ~inputs:[ Netlist.conn xd; Netlist.conn ctl ]
+       ~output:(Some a));
+  ignore
+    (Netlist.add nl
+       (Primitive.Gate { fn = Primitive.Or; n_inputs = 2; invert = false; delay = Delay.zero })
+       ~inputs:[ Netlist.conn a; Netlist.conn p ]
+       ~output:(Some x));
+  nl
+
+let slow_loop_cases = Case_analysis.parse_exn "CTL .S0-9 = 1;\nCTL .S0-9 = 0;\n"
+
+let test_divergence_not_masked () =
+  (* case 1 diverges, case 2 converges: before cr_converged existed the
+     report took the evaluator's flag after the LAST case and reported
+     the whole run as converged. *)
+  let r = Verifier.verify ~cases:slow_loop_cases (slow_loop ()) in
+  (match r.Verifier.r_cases with
+  | [ c1; c2 ] ->
+    Alcotest.(check bool) "case 1 diverged" false c1.Verifier.cr_converged;
+    Alcotest.(check bool) "case 2 converged" true c2.Verifier.cr_converged
+  | _ -> Alcotest.fail "expected two case results");
+  Alcotest.(check bool) "divergence not masked by the later case" false
+    r.Verifier.r_converged;
+  Alcotest.(check bool) "No_convergence violation reported" true
+    (Verifier.violations_of_kind Check.No_convergence r <> [])
+
+let test_divergence_shown_in_pp () =
+  let r = Verifier.verify ~cases:slow_loop_cases (slow_loop ()) in
+  let out = Format.asprintf "%a" Verifier.pp r in
+  let count_marker s =
+    (* parenthesized: the header/per-case flag, not the violation
+       listing's "EVALUATION DID NOT CONVERGE" line *)
+    let marker = "(DID NOT CONVERGE)" in
+    let rec go i acc =
+      if i + String.length marker > String.length s then acc
+      else if String.sub s i (String.length marker) = marker then
+        go (i + String.length marker) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  (* once on the header line, once on the case 1 line, not on case 2 *)
+  Alcotest.(check int) "marked on header and diverging case only" 2 (count_marker out)
+
+(* ---- sequential/parallel report equality ----------------------------------------- *)
+
+let case_results_equal (a : Verifier.case_result) (b : Verifier.case_result) =
+  a.Verifier.cr_case = b.Verifier.cr_case
+  && a.Verifier.cr_violations = b.Verifier.cr_violations
+  && a.Verifier.cr_events = b.Verifier.cr_events
+  && a.Verifier.cr_evaluations = b.Verifier.cr_evaluations
+  && a.Verifier.cr_converged = b.Verifier.cr_converged
+
+let reports_equal (a : Verifier.report) (b : Verifier.report) =
+  a.Verifier.r_events = b.Verifier.r_events
+  && a.Verifier.r_evaluations = b.Verifier.r_evaluations
+  && a.Verifier.r_violations = b.Verifier.r_violations
+  && a.Verifier.r_converged = b.Verifier.r_converged
+  && a.Verifier.r_unasserted = b.Verifier.r_unasserted
+  && a.Verifier.r_obs = b.Verifier.r_obs
+  && List.length a.Verifier.r_cases = List.length b.Verifier.r_cases
+  && List.for_all2 case_results_equal a.Verifier.r_cases b.Verifier.r_cases
+
+let test_jobs_equal_on_diverging_circuit () =
+  let r1 = Verifier.verify ~cases:slow_loop_cases (slow_loop ()) in
+  List.iter
+    (fun jobs ->
+      let rn = Verifier.verify ~cases:slow_loop_cases ~jobs (slow_loop ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs:%d report equals jobs:1 (diverging case included)" jobs)
+        true (reports_equal r1 rn))
+    [ 2; 4 ]
+
+let test_jobs_clamped_and_validated () =
+  let r = Verifier.verify ~cases:slow_loop_cases ~jobs:16 (slow_loop ()) in
+  Alcotest.(check int) "jobs clamped to the case count" 2 r.Verifier.r_jobs;
+  let r0 = Verifier.verify ~cases:slow_loop_cases ~jobs:0 (slow_loop ()) in
+  Alcotest.(check bool) "jobs:0 resolves to at least one domain" true
+    (r0.Verifier.r_jobs >= 1 && reports_equal r r0);
+  Alcotest.check_raises "negative jobs rejected"
+    (Invalid_argument "Verifier.verify: jobs must be >= 0") (fun () ->
+      ignore (Verifier.verify ~jobs:(-1) (slow_loop ())))
+
+let test_event_stream_replayed_in_case_order () =
+  let stream jobs =
+    let log = ref [] in
+    let probe =
+      {
+        Verifier.pr_span = (fun _ f -> f ());
+        pr_event = Some (fun ~inst_id ~net_id -> log := (inst_id, net_id) :: !log);
+      }
+    in
+    ignore (Verifier.verify ~probe ~cases:slow_loop_cases ~jobs (slow_loop ()));
+    List.rev !log
+  in
+  let seq = stream 1 in
+  Alcotest.(check bool) "events were recorded" true (seq <> []);
+  Alcotest.(check bool) "jobs:2 replays the sequential event stream" true
+    (stream 2 = seq)
+
+(* ---- random circuits ---------------------------------------------------------------- *)
+
+type recipe = {
+  rc_seed : int;
+  rc_n_inputs : int;
+  rc_gates : (int * int * int) list;
+}
+
+let gen_recipe =
+  let open QCheck.Gen in
+  let gen =
+    let* rc_seed = int_range 0 10_000 in
+    let* rc_n_inputs = int_range 2 4 in
+    let* n_gates = int_range 2 14 in
+    let* raw =
+      list_repeat n_gates (triple (int_range 0 4) (int_range 0 1000) (int_range 0 1000))
+    in
+    return { rc_seed; rc_n_inputs; rc_gates = raw }
+  in
+  QCheck.make
+    ~print:(fun r ->
+      Printf.sprintf "seed %d, %d inputs, %d gates" r.rc_seed r.rc_n_inputs
+        (List.length r.rc_gates))
+    gen
+
+let input_name i = Printf.sprintf "IN%d .S0-6" i
+
+let build_recipe r =
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+      ~default_wire_delay:(Delay.of_ns 0.0 2.0)
+  in
+  let inputs = List.init r.rc_n_inputs (fun i -> Netlist.signal nl (input_name i)) in
+  let nodes = ref (Array.of_list inputs) in
+  List.iteri
+    (fun i (fn_sel, a, b) ->
+      let pool = !nodes in
+      let pick x = pool.(x mod Array.length pool) in
+      let fn =
+        match fn_sel with
+        | 0 -> Primitive.And
+        | 1 -> Primitive.Or
+        | 2 -> Primitive.Xor
+        | _ -> Primitive.Chg
+      in
+      let out = Netlist.signal nl (Printf.sprintf "G%d" i) in
+      ignore
+        (Netlist.add nl
+           (Primitive.Gate
+              { fn; n_inputs = 2; invert = fn_sel = 4; delay = Delay.of_ns 1.0 3.0 })
+           ~inputs:[ Netlist.conn (pick a); Netlist.conn (pick b) ]
+           ~output:(Some out));
+      nodes := Array.append pool [| out |])
+    r.rc_gates;
+  nl
+
+(* Complete case analysis over the first two inputs: four cases, enough
+   to give every shard of a jobs:2 / jobs:4 run distinct work. *)
+let recipe_cases r =
+  Case_analysis.complete_exn
+    (List.init (min 2 r.rc_n_inputs) input_name)
+
+let waveforms nl ev =
+  Array.to_list (Netlist.nets nl)
+  |> List.map (fun (n : Netlist.net) -> Eval.value ev n.Netlist.n_id)
+
+let properties =
+  [
+    prop "warm-start equals a fresh evaluation of every case" gen_recipe (fun r ->
+        let cases = recipe_cases r in
+        let warm_nl = build_recipe r in
+        let warm = Eval.create warm_nl in
+        List.for_all
+          (fun case ->
+            Eval.run ~case:(Case_analysis.resolve warm_nl case) warm;
+            let fresh_nl = build_recipe r in
+            let fresh = Eval.create fresh_nl in
+            Eval.run ~case:(Case_analysis.resolve fresh_nl case) fresh;
+            List.for_all2 Waveform.equal (waveforms warm_nl warm)
+              (waveforms fresh_nl fresh)
+            && Eval.check warm = Eval.check fresh)
+          cases);
+    prop "verify ~jobs:N equals ~jobs:1 on random netlists" gen_recipe (fun r ->
+        let cases = recipe_cases r in
+        let r1 = Verifier.verify ~cases (build_recipe r) in
+        List.for_all
+          (fun jobs ->
+            reports_equal r1 (Verifier.verify ~cases ~jobs (build_recipe r)))
+          [ 2; 4 ]);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "shards" `Quick test_shards;
+    Alcotest.test_case "run" `Quick test_run;
+    Alcotest.test_case "netlist copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "divergence not masked" `Quick test_divergence_not_masked;
+    Alcotest.test_case "divergence shown in pp" `Quick test_divergence_shown_in_pp;
+    Alcotest.test_case "jobs equal on diverging circuit" `Quick
+      test_jobs_equal_on_diverging_circuit;
+    Alcotest.test_case "jobs clamped and validated" `Quick test_jobs_clamped_and_validated;
+    Alcotest.test_case "event stream replayed in case order" `Quick
+      test_event_stream_replayed_in_case_order;
+  ]
+  @ properties
