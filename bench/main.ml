@@ -822,6 +822,88 @@ let par_speedup () =
   else
     Printf.printf "\n  speedup gate skipped: only %d core(s) available\n" cores
 
+(* ---- scheduler speedup -------------------------------------------------------------------------------- *)
+
+(* Levelized scheduling cannot change the verdicts, only how much work
+   it takes to reach them: the two disciplines must agree on every
+   violation (and its position in the listing), every per-case verdict
+   and the convergence flags, while the evaluation count — the thing the
+   level order exists to cut — must drop by at least 30% on the largest
+   scaling circuit.  Counters and event totals differ between modes by
+   design, so the cross-mode comparison is verdict-based; the
+   within-mode -j 1 / -j 4 comparison stays bit-exact. *)
+let verdicts_equal (a : Verifier.report) (b : Verifier.report) =
+  let case_equal (x : Verifier.case_result) (y : Verifier.case_result) =
+    x.Verifier.cr_case = y.Verifier.cr_case
+    && x.Verifier.cr_violations = y.Verifier.cr_violations
+    && x.Verifier.cr_converged = y.Verifier.cr_converged
+  in
+  a.Verifier.r_violations = b.Verifier.r_violations
+  && a.Verifier.r_converged = b.Verifier.r_converged
+  && a.Verifier.r_unasserted = b.Verifier.r_unasserted
+  && List.length a.Verifier.r_cases = List.length b.Verifier.r_cases
+  && List.for_all2 case_equal a.Verifier.r_cases b.Verifier.r_cases
+
+let sched_speedup () =
+  section "SCHEDULER: levelized evaluation vs FIFO relaxation, 8000-chip design";
+  let d = Netgen.generate (Netgen.scaled ~chips:8000 ()) in
+  let e = Netgen.to_netlist d in
+  let nl = e.Scald_sdl.Expander.e_netlist in
+  let inputs =
+    let found = ref [] in
+    Netlist.iter_nets nl (fun n ->
+        if List.length !found < 4
+           && String.length n.Netlist.n_name >= 3
+           && String.sub n.Netlist.n_name 0 3 = "IN "
+        then found := n.Netlist.n_name :: !found);
+    List.rev !found
+  in
+  let cases = Case_analysis.complete_exn inputs in
+  Printf.printf "  workload: %d chips, %d primitives, %d cases over %s\n"
+    (Netgen.n_chips d) (Netlist.n_insts nl) (List.length cases)
+    (String.concat ", " inputs);
+  let r_fifo, t_fifo =
+    wall_timed (fun () -> Verifier.verify ~cases ~jobs:1 ~sched:Eval.Fifo nl)
+  in
+  let r_level, t_level =
+    wall_timed (fun () -> Verifier.verify ~cases ~jobs:1 ~sched:Eval.Level nl)
+  in
+  let ev_fifo = r_fifo.Verifier.r_evaluations in
+  let ev_level = r_level.Verifier.r_evaluations in
+  let reduction =
+    100. *. (1. -. (float_of_int ev_level /. float_of_int (max 1 ev_fifo)))
+  in
+  Printf.printf "  %-44s %12d %10.4f s\n" "evaluations, FIFO relaxation" ev_fifo t_fifo;
+  Printf.printf "  %-44s %12d %10.4f s\n" "evaluations, levelized" ev_level t_level;
+  Printf.printf "  %-44s %11.1f %%\n" "evaluation reduction" reduction;
+  Printf.printf "  %-44s %12d\n" "schedule levels"
+    r_level.Verifier.r_obs.Verifier.os_sched_levels;
+  Printf.printf "  %-44s %12d\n" "strongly connected components"
+    r_level.Verifier.r_obs.Verifier.os_sccs;
+  Printf.printf "  %-44s %12d / %d\n" "input-cache hits / misses"
+    r_level.Verifier.r_obs.Verifier.os_cache_hits
+    r_level.Verifier.r_obs.Verifier.os_cache_misses;
+  let agree = verdicts_equal r_fifo r_level in
+  Printf.printf "  verdicts identical across disciplines: %s\n"
+    (if agree then "PASS" else "FAIL");
+  (* Each discipline must stay deterministic across domain counts. *)
+  let r_level4 = Verifier.verify ~cases ~jobs:4 ~sched:Eval.Level nl in
+  let r_fifo4 = Verifier.verify ~cases ~jobs:4 ~sched:Eval.Fifo nl in
+  let det_level = reports_equal r_level r_level4 in
+  let det_fifo = reports_equal r_fifo r_fifo4 in
+  Printf.printf "  level report bit-identical at -j 4: %s\n"
+    (if det_level then "PASS" else "FAIL");
+  Printf.printf "  fifo report bit-identical at -j 4: %s\n"
+    (if det_fifo then "PASS" else "FAIL");
+  emit_bench_metrics "sched-speedup"
+    ~phases:[ ("verify_fifo", t_fifo); ("verify_level", t_level) ]
+    r_level;
+  let budget = 30.0 in
+  Printf.printf "\n  evaluation-reduction budget >= %.0f%%: %s\n" budget
+    (if reduction >= budget then "PASS" else "FAIL");
+  if (not agree) || (not det_level) || (not det_fifo) || reduction < budget then
+    exit 1
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -936,6 +1018,7 @@ let experiments =
     ("lint-throughput", lint_throughput);
     ("obs-overhead", obs_overhead);
     ("par-speedup", par_speedup);
+    ("sched-speedup", sched_speedup);
   ]
 
 let () =

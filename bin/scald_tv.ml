@@ -14,9 +14,9 @@ let read_file path =
   close_in ic;
   s
 
-let run file case_file jobs summary xref quiet paths corr_advice prob slack diagram
-    vcd_out phys lint lint_only lint_fatal lint_json profile_out metrics_out explain
-    trace_buffer =
+let run file case_file jobs sched summary xref quiet paths corr_advice prob slack
+    diagram vcd_out phys lint lint_only lint_fatal lint_json profile_out metrics_out
+    explain trace_buffer =
   (* The observability layer is built only when asked for; with every
      obs flag off the verifier sees no probe and the evaluator's event
      hook stays None (the zero-overhead contract of doc/OBSERVABILITY.md). *)
@@ -95,7 +95,7 @@ let run file case_file jobs summary xref quiet paths corr_advice prob slack diag
     let report =
       Verifier.verify
         ?probe:(Option.map Scald_obs.Obs.probe obs)
-        ~cases ~jobs:(max 0 jobs) nl
+        ~cases ~jobs:(max 0 jobs) ~sched nl
     in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
@@ -166,6 +166,20 @@ let file =
 let case_file =
   let doc = "Case-analysis specification file (e.g. \"CONTROL = 0; CONTROL = 1;\")." in
   Arg.(value & opt (some file) None & info [ "c"; "cases" ] ~docv:"CASES" ~doc)
+
+let sched =
+  let doc =
+    "Evaluation scheduling discipline: $(b,level) (the default) orders the \
+     work list by topological level so each instance outside a feedback loop \
+     is evaluated at most once per settled wavefront; $(b,fifo) is the \
+     historical first-in-first-out relaxation.  Both produce the same \
+     violations and waveforms; they differ only in evaluation counts."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("level", Scald_core.Eval.Level); ("fifo", Scald_core.Eval.Fifo) ])
+        Scald_core.Eval.Level
+    & info [ "sched" ] ~docv:"DISCIPLINE" ~doc)
 
 let jobs =
   let doc =
@@ -296,8 +310,8 @@ let cmd =
   Cmd.v
     (Cmd.info "scald_tv" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ file $ case_file $ jobs $ summary $ xref $ quiet $ paths $ corr_advice
-      $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only $ lint_fatal
-      $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer)
+      const run $ file $ case_file $ jobs $ sched $ summary $ xref $ quiet $ paths
+      $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
+      $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,11 +30,33 @@ let kind_name = function
   | 10 -> "MIN PULSE WIDTH"
   | _ -> "CONST"
 
+type mode = Fifo | Level
+
 type t = {
   nl : Netlist.t;
-  queue : int Queue.t;
+  mode : mode;
+  mutable sched : Sched.t option;
+      (* Level mode: computed at the first run unless passed to create *)
+  queue : int Queue.t;  (* Fifo mode work list *)
+  mutable buckets : int Queue.t array;
+      (* Level mode work list: one FIFO bucket per topological level *)
+  mutable cur_level : int;  (* bucket sweep cursor *)
+  mutable queue_len : int;  (* items queued across all buckets *)
+  mutable scc_evals : int array;  (* per cyclic component: evals this run *)
+  mutable diverged_slot : int;  (* cyclic slot that blew its budget, -1 none *)
   in_queue : bool array;
   case : Tvalue.t option array;
+  (* Generation-stamped input cache: [conn_base.(i) + k] is the flat
+     index of input [k] of instance [i]; the cached waveform is valid
+     while the driving net's [n_gen] still equals [cache_gen]. *)
+  conn_base : int array;
+  cache_gen : int array;
+  cache_wf : Waveform.t array;
+  (* Register data-materialization memo, same generation key. *)
+  mat_gen : int array;
+  mat_wf : Waveform.t array;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable events : int;
   mutable evals : int;
   mutable queued : int;
@@ -46,12 +68,44 @@ type t = {
   mutable initialized : bool;
 }
 
-let create nl =
+let create ?(mode = Level) ?sched nl =
+  let n_insts = Netlist.n_insts nl in
+  let conn_base = Array.make (max 1 n_insts) 0 in
+  let n_conns = ref 0 in
+  Netlist.iter_insts nl (fun i ->
+      conn_base.(i.Netlist.i_id) <- !n_conns;
+      n_conns := !n_conns + Array.length i.Netlist.i_inputs);
+  let dummy_wf =
+    Waveform.const ~period:(Timebase.period (Netlist.timebase nl)) Tvalue.Unknown
+  in
+  let sched = match mode with Level -> sched | Fifo -> None in
+  let buckets =
+    match sched with
+    | None -> [||]
+    | Some s -> Array.init (max 1 (Sched.n_levels s)) (fun _ -> Queue.create ())
+  in
+  let scc_evals =
+    match sched with None -> [||] | Some s -> Array.make (Sched.n_cyclic s) 0
+  in
   {
     nl;
+    mode;
+    sched;
     queue = Queue.create ();
-    in_queue = Array.make (max 1 (Netlist.n_insts nl)) false;
+    buckets;
+    cur_level = 0;
+    queue_len = 0;
+    scc_evals;
+    diverged_slot = -1;
+    in_queue = Array.make (max 1 n_insts) false;
     case = Array.make (max 1 (Netlist.n_nets nl)) None;
+    conn_base;
+    cache_gen = Array.make (max 1 !n_conns) (-1);
+    cache_wf = Array.make (max 1 !n_conns) dummy_wf;
+    mat_gen = Array.make (max 1 n_insts) (-1);
+    mat_wf = Array.make (max 1 n_insts) dummy_wf;
+    cache_hits = 0;
+    cache_misses = 0;
     events = 0;
     evals = 0;
     queued = 0;
@@ -64,6 +118,7 @@ let create nl =
   }
 
 let netlist t = t.nl
+let mode t = t.mode
 
 let events t = t.events
 let evaluations t = t.evals
@@ -75,6 +130,8 @@ let reset_counters t =
   t.queued <- 0;
   t.coalesced <- 0;
   t.queue_hwm <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
   Array.fill t.evals_by_kind 0 n_kinds 0
 
 type counters = {
@@ -83,6 +140,11 @@ type counters = {
   c_queued : int;
   c_coalesced : int;
   c_queue_hwm : int;
+  c_sched_levels : int;
+  c_sccs : int;
+  c_max_scc_size : int;
+  c_cache_hits : int;
+  c_cache_misses : int;
   c_evals_by_kind : (string * int) list;
 }
 
@@ -92,12 +154,22 @@ let counters t =
     if t.evals_by_kind.(tag) > 0 then
       by_kind := (kind_name tag, t.evals_by_kind.(tag)) :: !by_kind
   done;
+  let sched_levels, sccs, max_scc =
+    match t.sched with
+    | Some s -> (Sched.n_levels s, Sched.n_sccs s, Sched.max_scc_size s)
+    | None -> (0, 0, 0)
+  in
   {
     c_events = t.events;
     c_evaluations = t.evals;
     c_queued = t.queued;
     c_coalesced = t.coalesced;
     c_queue_hwm = t.queue_hwm;
+    c_sched_levels = sched_levels;
+    c_sccs = sccs;
+    c_max_scc_size = max_scc;
+    c_cache_hits = t.cache_hits;
+    c_cache_misses = t.cache_misses;
     c_evals_by_kind =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
   }
@@ -124,18 +196,53 @@ let initial_value t (n : Netlist.net) =
   in
   apply_case t n.n_id base
 
+(* Every assignment to a net's evaluation state goes through [assign] so
+   the generation stamp can never fall behind the value. *)
+let assign (n : Netlist.net) wf eval_str =
+  n.n_value <- wf;
+  n.n_eval_str <- eval_str;
+  n.n_gen <- n.n_gen + 1
+
+let ensure_sched t =
+  match t.mode with
+  | Fifo -> ()
+  | Level ->
+    if t.sched = None then begin
+      let s = Sched.compute t.nl in
+      t.sched <- Some s;
+      t.buckets <- Array.init (max 1 (Sched.n_levels s)) (fun _ -> Queue.create ());
+      t.scc_evals <- Array.make (Sched.n_cyclic s) 0
+    end
+
 let enqueue t inst_id =
   t.queued <- t.queued + 1;
   if t.in_queue.(inst_id) then t.coalesced <- t.coalesced + 1
   else begin
     t.in_queue.(inst_id) <- true;
-    Queue.add inst_id t.queue;
-    let len = Queue.length t.queue in
-    if len > t.queue_hwm then t.queue_hwm <- len
+    (match t.mode with
+    | Fifo -> Queue.add inst_id t.queue
+    | Level ->
+      let l = Sched.level (Option.get t.sched) inst_id in
+      Queue.add inst_id t.buckets.(l);
+      if l < t.cur_level then t.cur_level <- l);
+    t.queue_len <- t.queue_len + 1;
+    if t.queue_len > t.queue_hwm then t.queue_hwm <- t.queue_len
   end
 
 let enqueue_fanout t net_id =
   List.iter (enqueue t) (Netlist.net t.nl net_id).n_fanout
+
+(* Drop all pending work, resetting the in-queue flags so a later
+   (incremental) run starts from a consistent work list. *)
+let clear_work t =
+  let drop q =
+    Queue.iter (fun id -> t.in_queue.(id) <- false) q;
+    Queue.clear q
+  in
+  (match t.mode with
+  | Fifo -> drop t.queue
+  | Level -> Array.iter drop t.buckets);
+  t.queue_len <- 0
 
 (* ---- directive resolution --------------------------------------------- *)
 
@@ -167,13 +274,29 @@ let apply_delay d wf =
       | Some w -> w
       | None -> envelope ())
 
+(* The input waveform is a pure function of the driving net's evaluation
+   state (value + evaluation string) and of static structure, so it is
+   memoized per connection, keyed on the net's generation stamp.  High-
+   fanout nets and the checker pass (which re-derives every input) hit
+   the cache instead of re-applying inversion and wire delay. *)
 let input_waveform t (inst : Netlist.inst) i =
   let c = inst.i_inputs.(i) in
   let n = Netlist.net t.nl c.c_net in
-  let letter = head_letter (effective_directive t inst i) in
-  let wf = n.n_value in
-  let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
-  if Directive.zero_wire letter then wf else apply_delay (wire_delay_of t n) wf
+  let idx = t.conn_base.(inst.i_id) + i in
+  if t.cache_gen.(idx) = n.n_gen then begin
+    t.cache_hits <- t.cache_hits + 1;
+    t.cache_wf.(idx)
+  end
+  else begin
+    t.cache_misses <- t.cache_misses + 1;
+    let letter = head_letter (effective_directive t inst i) in
+    let wf = n.n_value in
+    let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
+    let wf = if Directive.zero_wire letter then wf else apply_delay (wire_delay_of t n) wf in
+    t.cache_gen.(idx) <- n.n_gen;
+    t.cache_wf.(idx) <- wf;
+    wf
+  end
 
 (* ---- primitive models --------------------------------------------------- *)
 
@@ -244,7 +367,7 @@ let sampled_value data_m { Waveform.w_start; w_stop } =
       if ok then Some v else None
   | _ -> None
 
-let reg_output ~period ~delay ~data ~clock =
+let reg_output ~period ~delay ~data_m ~clock =
   let windows = Waveform.rising_windows clock in
   if windows = [] then
     if
@@ -254,7 +377,7 @@ let reg_output ~period ~delay ~data ~clock =
     then Waveform.const ~period Tvalue.Unknown
     else Waveform.const ~period Tvalue.Stable
   else
-    let data_m = Waveform.materialize data in
+    let data_m = Lazy.force data_m in
     let samples = List.map (sampled_value data_m) windows in
     let base =
       match samples with
@@ -271,6 +394,26 @@ let reg_output ~period ~delay ~data ~clock =
         windows
     in
     Waveform.of_intervals ~period ~inside:Tvalue.Change ~outside:base change_ivals
+
+(* Materialized register data input, memoized on the driving net's
+   generation: the register is typically re-evaluated for clock events
+   while its data is unchanged, and materialization (folding the skew
+   windows into the segment list) is the expensive half. *)
+let materialized_data t (inst : Netlist.inst) =
+  let c = inst.i_inputs.(0) in
+  let n = Netlist.net t.nl c.c_net in
+  let id = inst.i_id in
+  if t.mat_gen.(id) = n.n_gen then begin
+    t.cache_hits <- t.cache_hits + 1;
+    t.mat_wf.(id)
+  end
+  else begin
+    t.cache_misses <- t.cache_misses + 1;
+    let m = Waveform.materialize (input_waveform t inst 0) in
+    t.mat_gen.(id) <- n.n_gen;
+    t.mat_wf.(id) <- m;
+    m
+  end
 
 (* Transparent-latch value as a function of the data and enable values
    at an instant; the result is then delayed by the latch delay. *)
@@ -334,13 +477,14 @@ let eval_output t (inst : Netlist.inst) =
     let d = if Directive.zero_gate letter then Delay.zero else delay in
     Some (apply_delay d wf)
   | Primitive.Gate { fn; n_inputs; invert; delay } ->
-    let letters = List.init n_inputs (fun i -> head_letter (effective_directive t inst i)) in
-    let hazard = List.exists Directive.check_hazard letters in
-    let zero_gate = List.exists Directive.zero_gate letters in
+    let letters =
+      Array.init n_inputs (fun i -> head_letter (effective_directive t inst i))
+    in
+    let hazard = Array.exists Directive.check_hazard letters in
+    let zero_gate = Array.exists Directive.zero_gate letters in
     let wfs =
       List.init n_inputs (fun i ->
-          let letter = List.nth letters i in
-          if hazard && not (Directive.check_hazard letter) then
+          if hazard && not (Directive.check_hazard letters.(i)) then
             (* &A / &H: assume the other (control) inputs enable the
                gate, so the output follows the clock alone (§2.6). *)
             Waveform.const ~period:(period t) (enabling_value fn)
@@ -369,8 +513,9 @@ let eval_output t (inst : Netlist.inst) =
        mux delay. *)
     Some (paint_change_windows ~period:(period t) ~d (Waveform.change_windows s) out)
   | Primitive.Reg { delay; has_set_reset } ->
-    let data = input_waveform t inst 0 and clock = input_waveform t inst 1 in
-    let out = reg_output ~period:(period t) ~delay ~data ~clock in
+    let data_m = lazy (materialized_data t inst) in
+    let clock = input_waveform t inst 1 in
+    let out = reg_output ~period:(period t) ~delay ~data_m ~clock in
     if not has_set_reset then Some out
     else
       let s = apply_delay delay (input_waveform t inst 2)
@@ -426,8 +571,7 @@ let eval_inst t inst_id =
       let wf = apply_case t out_id wf in
       let eval_str = output_eval_str t inst in
       if not (Waveform.equal wf n.n_value) || eval_str <> n.n_eval_str then begin
-        n.n_value <- wf;
-        n.n_eval_str <- eval_str;
+        assign n wf eval_str;
         t.events <- t.events + 1;
         (match t.on_event with
         | None -> ()
@@ -435,34 +579,94 @@ let eval_inst t inst_id =
         enqueue_fanout t out_id
       end)
 
+(* Next ready instance in level order: advance the cursor to the first
+   non-empty bucket.  Fanout edges never reach below the current level
+   (condensation levels are monotone along edges; equal only inside a
+   component), so one sweep visits each acyclic instance at most once
+   and re-visits exactly the members of still-relaxing feedback
+   components. *)
+let dequeue_level t =
+  let n = Array.length t.buckets in
+  let rec find l =
+    if l >= n then None
+    else
+      match Queue.take_opt t.buckets.(l) with
+      | Some id ->
+        t.cur_level <- l;
+        Some id
+      | None -> find (l + 1)
+  in
+  find t.cur_level
+
 let fixpoint t =
+  t.converged <- true;
+  t.diverged_slot <- -1;
   (* The bound is a per-run budget (counted from this run's start), not
      a lifetime one: every case gets the same headroom regardless of its
      position in the case list, so convergence of a case is independent
      of evaluation order. *)
   let bound = max 10_000 (Netlist.n_insts t.nl * 200) in
   let start = t.evals in
-  let rec loop () =
-    if t.evals - start > bound then t.converged <- false
-    else
-      match Queue.take_opt t.queue with
-      | None -> ()
-      | Some id ->
-        t.in_queue.(id) <- false;
-        eval_inst t id;
-        loop ()
-  in
-  t.converged <- true;
-  loop ();
-  if not t.converged then Queue.clear t.queue
+  (match t.mode with
+  | Fifo ->
+    let rec loop () =
+      if t.evals - start > bound then t.converged <- false
+      else
+        match Queue.take_opt t.queue with
+        | None -> ()
+        | Some id ->
+          t.queue_len <- t.queue_len - 1;
+          t.in_queue.(id) <- false;
+          eval_inst t id;
+          loop ()
+    in
+    loop ()
+  | Level ->
+    let s = Option.get t.sched in
+    t.cur_level <- 0;
+    Array.fill t.scc_evals 0 (Array.length t.scc_evals) 0;
+    (* In level order every acyclic instance runs at most once per
+       wavefront, so the global bound can only trip inside feedback —
+       the per-component budget below catches it first and names the
+       region; the global bound remains as a backstop. *)
+    let rec loop () =
+      if t.evals - start > bound then t.converged <- false
+      else
+        match dequeue_level t with
+        | None -> ()
+        | Some id ->
+          t.queue_len <- t.queue_len - 1;
+          t.in_queue.(id) <- false;
+          let slot = Sched.cyclic_slot s id in
+          if slot < 0 then begin
+            eval_inst t id;
+            loop ()
+          end
+          else begin
+            let c = t.scc_evals.(slot) + 1 in
+            t.scc_evals.(slot) <- c;
+            if c > max 10_000 (Sched.cyclic_size s slot * 200) then begin
+              t.converged <- false;
+              t.diverged_slot <- slot
+            end
+            else begin
+              eval_inst t id;
+              loop ()
+            end
+          end
+    in
+    loop ());
+  (* On divergence the pending work is dropped *and* the in-queue flags
+     cleared, so a later incremental case starts from a consistent work
+     list instead of silently coalescing away its re-evaluations. *)
+  if not t.converged then clear_work t
 
 let run ?(case = []) t =
+  ensure_sched t;
   if not t.initialized then begin
     t.initialized <- true;
     List.iter (fun (id, v) -> t.case.(id) <- Some v) case;
-    Netlist.iter_nets t.nl (fun n ->
-        n.n_value <- initial_value t n;
-        n.n_eval_str <- []);
+    Netlist.iter_nets t.nl (fun n -> assign n (initial_value t n) []);
     Netlist.iter_insts t.nl (fun i -> enqueue t i.i_id)
   end
   else begin
@@ -476,7 +680,7 @@ let run ?(case = []) t =
           t.case.(id) <- w;
           let n = Netlist.net t.nl id in
           (match n.n_driver with
-          | None -> n.n_value <- initial_value t n
+          | None -> assign n (initial_value t n) n.n_eval_str
           | Some d -> enqueue t d);
           enqueue_fanout t id
         end)
@@ -549,6 +753,13 @@ let check t =
   let base = List.concat (List.rev !acc) in
   if t.converged then base
   else
+    let detail =
+      match t.diverged_slot, t.sched with
+      | slot, Some s when slot >= 0 ->
+        Printf.sprintf "evaluation budget exceeded in feedback region: %s"
+          (Sched.cyclic_region s slot t.nl)
+      | _ -> "evaluation bound exceeded; the circuit may contain unbroken feedback"
+    in
     {
       Check.v_kind = Check.No_convergence;
       v_inst = "EVALUATOR";
@@ -557,6 +768,6 @@ let check t =
       v_required = 0;
       v_actual = None;
       v_at = None;
-      v_detail = "evaluation bound exceeded; the circuit may contain unbroken feedback";
+      v_detail = detail;
     }
     :: base

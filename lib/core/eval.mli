@@ -10,11 +10,36 @@
     Case analysis is incremental: changing the case re-initializes only
     the mapped signals and re-evaluates only the affected cone, so
     additional cases cost time proportional to the events they cause
-    (§2.7, §3.3.2). *)
+    (§2.7, §3.3.2).
+
+    Two work-list disciplines are available (see [doc/SCHEDULER.md]):
+
+    - {!Level} (the default): a structural schedule ({!Sched.compute})
+      orders ready instances by topological level, so each acyclic
+      instance is evaluated at most once per settled wavefront; only
+      instances inside feedback components relax in FIFO order, under a
+      per-component budget, and a [No_convergence] verdict names the
+      cyclic region.
+    - {!Fifo}: the historical plain first-in-first-out relaxation.
+
+    Both disciplines reach the same fixpoint — same waveforms, same
+    violations — they differ only in how many evaluations it takes.
+    Input waveforms are additionally memoized per connection, keyed on a
+    per-net generation stamp, in either mode. *)
 
 type t
 
-val create : Netlist.t -> t
+type mode =
+  | Fifo  (** historical FIFO relaxation *)
+  | Level  (** level-ordered sweep, FIFO inside feedback components *)
+
+val create : ?mode:mode -> ?sched:Sched.t -> Netlist.t -> t
+(** [mode] defaults to {!Level}.  [sched] supplies a precomputed
+    schedule (it must describe the same structure, e.g. the original of
+    a {!Netlist.copy}); without it, {!Level} mode computes one at the
+    first {!run}.  [sched] is ignored in {!Fifo} mode. *)
+
+val mode : t -> mode
 
 val netlist : t -> Netlist.t
 
@@ -27,7 +52,8 @@ val check : t -> Check.t list
 (** Run all checker primitives, [&A]/[&H] hazard checks and
     stable-assertion checks against the current signal values, plus a
     {!Check.No_convergence} report if the last {!run} hit the evaluation
-    bound. *)
+    bound.  In {!Level} mode the report names the feedback region whose
+    relaxation budget was exceeded. *)
 
 val value : t -> int -> Waveform.t
 (** Current waveform of a net. *)
@@ -36,7 +62,8 @@ val input_waveform : t -> Netlist.inst -> int -> Waveform.t
 (** The waveform a primitive instance actually sees on input [i]: the
     net value after complementation and interconnection delay, with
     evaluation directives applied.  Exposed for reporting (the Figure
-    3-11 listing prints the values seen by the checker). *)
+    3-11 listing prints the values seen by the checker).  Memoized per
+    connection on the driving net's generation stamp. *)
 
 val events : t -> int
 (** Number of events processed so far: an event is an output being given
@@ -69,6 +96,14 @@ type counters = {
       (** enqueue requests absorbed because the instance was already on
           the work list — the saving of the call-list discipline *)
   c_queue_hwm : int;  (** work-list high-water mark *)
+  c_sched_levels : int;
+      (** topological levels in the schedule; [0] in {!Fifo} mode or
+          before the schedule is computed *)
+  c_sccs : int;  (** strongly connected components in the schedule *)
+  c_max_scc_size : int;  (** largest component ([1] when acyclic) *)
+  c_cache_hits : int;
+      (** input-waveform / register-data cache hits (generation match) *)
+  c_cache_misses : int;  (** cache fills *)
   c_evals_by_kind : (string * int) list;
       (** evaluations per primitive mnemonic, e.g. [("REG", 42)];
           alphabetical, zero-count kinds omitted *)
@@ -76,7 +111,9 @@ type counters = {
 
 val counters : t -> counters
 (** Snapshot of the counters accumulated since creation (or the last
-    {!reset_counters}). *)
+    {!reset_counters}).  The schedule-shape fields ([c_sched_levels],
+    [c_sccs], [c_max_scc_size]) are properties of the netlist, not
+    accumulators — {!reset_counters} leaves them readable. *)
 
 val set_event_hook : t -> (inst_id:int -> net_id:int -> unit) option -> unit
 (** Install (or clear) a hook called once per event, {e after} the

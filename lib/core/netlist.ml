@@ -18,6 +18,7 @@ type net = {
   mutable n_fanout : int list;
   mutable n_value : Waveform.t;
   mutable n_eval_str : Directive.t;
+  mutable n_gen : int;
 }
 
 type t = {
@@ -61,6 +62,7 @@ let dummy_net tb =
     n_fanout = [];
     n_value = Waveform.const ~period:(Timebase.period tb) Tvalue.Unknown;
     n_eval_str = [];
+    n_gen = 0;
   }
 
 let add_net t ~name ~width ~assertion =
@@ -77,6 +79,7 @@ let add_net t ~name ~width ~assertion =
       n_fanout = [];
       n_value = Waveform.const ~period:(Timebase.period t.tb) Tvalue.Unknown;
       n_eval_str = [];
+      n_gen = 0;
     }
   in
   t.nets.(id) <- n;
@@ -148,10 +151,17 @@ let add t ?name prim ~inputs ~output =
         (Printf.sprintf "Netlist.add: net %s already driven by %s" n.n_name
            t.insts.(other).i_name)
     | None -> n.n_driver <- Some id));
+  (* An instance's connections arrive together and instance ids only
+     grow, so a duplicate (one instance reading a net on several inputs)
+     can only sit at the head of the fanout list — a head check keeps
+     wide-fanout construction linear where the old [List.mem] walk made
+     it quadratic. *)
   List.iter
     (fun c ->
       let n = t.nets.(c.c_net) in
-      if not (List.mem id n.n_fanout) then n.n_fanout <- id :: n.n_fanout)
+      match n.n_fanout with
+      | prev :: _ when prev = id -> ()
+      | _ -> n.n_fanout <- id :: n.n_fanout)
     inputs;
   t.insts.(id) <- i;
   t.n_insts <- t.n_insts + 1;

@@ -34,6 +34,10 @@ type net = {
   mutable n_eval_str : Directive.t;
       (** evaluation string carried by the signal value, consumed one
           letter per level of gating (§2.8) *)
+  mutable n_gen : int;
+      (** generation stamp, bumped by the evaluator on every assignment
+          to [n_value]/[n_eval_str]; keys the per-connection input
+          waveform cache (see {!Eval} and [doc/SCHEDULER.md]) *)
 }
 
 type t
@@ -94,6 +98,10 @@ val find : t -> string -> int option
 (** Look up a net by base name. *)
 
 val nets : t -> net array
+(** A {e fresh copy} of the net array, O(n) per call — fine for one-shot
+    listings, wrong inside loops; iterate with {!iter_nets} instead. *)
+
+(** A {e fresh copy} of the instance array; same caveat as {!nets}. *)
 val insts : t -> inst array
 val n_nets : t -> int
 val n_insts : t -> int

@@ -3,9 +3,11 @@ let pp_net_line ppf (n : Netlist.net) =
 
 let pp_summary ppf ev =
   let nl = Eval.netlist ev in
-  let all = Array.to_list (Netlist.nets nl) in
+  (* iterate in place: Netlist.nets copies the whole array per call *)
+  let all = ref [] in
+  Netlist.iter_nets nl (fun n -> all := n :: !all);
   let sorted =
-    List.sort (fun (a : Netlist.net) b -> String.compare a.n_name b.n_name) all
+    List.sort (fun (a : Netlist.net) b -> String.compare a.n_name b.n_name) !all
   in
   Format.fprintf ppf "@[<v>TIMING VERIFIER SIGNAL VALUE SUMMARY@,";
   List.iter (fun n -> Format.fprintf ppf "%a@," pp_net_line n) sorted;

@@ -50,8 +50,11 @@ let pp ?(columns = 64) ?signals ppf ev =
         (fun name -> Option.map (Netlist.net nl) (Netlist.find nl name))
         names
     | None ->
-      Array.to_list (Netlist.nets nl)
-      |> List.sort (fun (a : Netlist.net) b -> String.compare a.Netlist.n_name b.Netlist.n_name)
+      let all = ref [] in
+      Netlist.iter_nets nl (fun n -> all := n :: !all);
+      List.sort
+        (fun (a : Netlist.net) b -> String.compare a.Netlist.n_name b.Netlist.n_name)
+        !all
   in
   Format.fprintf ppf "@[<v>%-28s %s@," "" (ruler ~columns period);
   List.iter

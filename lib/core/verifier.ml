@@ -17,6 +17,11 @@ type obs_summary = {
   os_queued : int;
   os_coalesced : int;
   os_queue_hwm : int;
+  os_sched_levels : int;
+  os_sccs : int;
+  os_max_scc_size : int;
+  os_cache_hits : int;
+  os_cache_misses : int;
   os_evals_by_kind : (string * int) list;
 }
 
@@ -57,6 +62,11 @@ let obs_of_counters (c : Eval.counters) =
     os_queued = c.Eval.c_queued;
     os_coalesced = c.Eval.c_coalesced;
     os_queue_hwm = c.Eval.c_queue_hwm;
+    os_sched_levels = c.Eval.c_sched_levels;
+    os_sccs = c.Eval.c_sccs;
+    os_max_scc_size = c.Eval.c_max_scc_size;
+    os_cache_hits = c.Eval.c_cache_hits;
+    os_cache_misses = c.Eval.c_cache_misses;
     os_evals_by_kind = c.Eval.c_evals_by_kind;
   }
 
@@ -76,14 +86,14 @@ let merge_by_kind a b =
 
 (* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
 
-let verify_sequential ~probe ~case_list nl =
+let verify_sequential ~sched ~probe ~case_list nl =
   (* [span] must stay let-bound polymorphic (it wraps both unit and
      list-returning phases), so each engine rebuilds it from [probe]
      rather than taking it as a (monomorphic) argument. *)
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
-  let ev = Eval.create nl in
+  let ev = Eval.create ~mode:sched nl in
   (match probe with
   | Some { pr_event = Some _ as h; _ } -> Eval.set_event_hook ev h
   | Some { pr_event = None; _ } | None -> ());
@@ -116,7 +126,7 @@ let verify_sequential ~probe ~case_list nl =
    measured case starts from exactly the state the sequential run would
    have given it — per-case event counts, violations and the merged
    counters are then identical to [jobs:1] (doc/PARALLEL.md). *)
-let verify_parallel ~probe ~case_list ~jobs nl =
+let verify_parallel ~sched ~probe ~case_list ~jobs nl =
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
@@ -133,15 +143,25 @@ let verify_parallel ~probe ~case_list ~jobs nl =
   let netlists =
     Array.init jobs (fun k -> if k = 0 then nl else Netlist.copy nl)
   in
+  (* The schedule is purely structural and identical for every copy, so
+     it is computed once here and shared read-only by all domains. *)
+  let schedule =
+    match sched with Eval.Level -> Some (Sched.compute nl) | Eval.Fifo -> None
+  in
   let record_events =
     match probe with Some { pr_event = Some _; _ } -> true | _ -> false
   in
   let run_shard k =
     let lo, hi = shards.(k) in
-    let ev = Eval.create netlists.(k) in
+    let ev = Eval.create ~mode:sched ?sched:schedule netlists.(k) in
     if lo > 0 then begin
-      (* warm-start priming: un-measured, un-hooked, un-counted *)
+      (* Warm-start priming: un-measured, un-hooked, un-counted.  The
+         check pass is replayed too: it fills the input-waveform cache
+         exactly as the sequential run's preceding case did, so the
+         cache hit/miss counters of every measured case stay identical
+         to jobs:1. *)
       Eval.run ~case:resolved.(lo - 1) ev;
+      ignore (Eval.check ev);
       Eval.reset_counters ev
     end;
     let buf = ref [] in
@@ -190,7 +210,9 @@ let verify_parallel ~probe ~case_list ~jobs nl =
     List.concat_map (fun (rs, _, _) -> List.map fst rs) (Array.to_list shard_results)
   in
   let counters =
-    (* per-domain counter structs merged at join; no shared hot-path state *)
+    (* per-domain counter structs merged at join; no shared hot-path
+       state.  Flow counters sum; the high-water mark and the schedule
+       shape (identical in every shard) take the max. *)
     Array.fold_left
       (fun acc (_, (c : Eval.counters), _) ->
         {
@@ -199,6 +221,11 @@ let verify_parallel ~probe ~case_list ~jobs nl =
           c_queued = acc.Eval.c_queued + c.Eval.c_queued;
           c_coalesced = acc.Eval.c_coalesced + c.Eval.c_coalesced;
           c_queue_hwm = max acc.Eval.c_queue_hwm c.Eval.c_queue_hwm;
+          c_sched_levels = max acc.Eval.c_sched_levels c.Eval.c_sched_levels;
+          c_sccs = max acc.Eval.c_sccs c.Eval.c_sccs;
+          c_max_scc_size = max acc.Eval.c_max_scc_size c.Eval.c_max_scc_size;
+          c_cache_hits = acc.Eval.c_cache_hits + c.Eval.c_cache_hits;
+          c_cache_misses = acc.Eval.c_cache_misses + c.Eval.c_cache_misses;
           c_evals_by_kind = merge_by_kind acc.Eval.c_evals_by_kind c.Eval.c_evals_by_kind;
         })
       {
@@ -207,6 +234,11 @@ let verify_parallel ~probe ~case_list ~jobs nl =
         c_queued = 0;
         c_coalesced = 0;
         c_queue_hwm = 0;
+        c_sched_levels = 0;
+        c_sccs = 0;
+        c_max_scc_size = 0;
+        c_cache_hits = 0;
+        c_cache_misses = 0;
         c_evals_by_kind = [];
       }
       shard_results
@@ -216,7 +248,7 @@ let verify_parallel ~probe ~case_list ~jobs nl =
   let _, _, last_ev = shard_results.(jobs - 1) in
   (results, counters, last_ev)
 
-let verify ?lint ?probe ?(cases = []) ?(jobs = 1) nl =
+let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level) nl =
   if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
@@ -230,8 +262,8 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) nl =
   let jobs = if jobs = 0 then Par.available () else jobs in
   let jobs = max 1 (min jobs (List.length case_list)) in
   let results, counters, ev =
-    if jobs = 1 then verify_sequential ~probe ~case_list nl
-    else verify_parallel ~probe ~case_list ~jobs nl
+    if jobs = 1 then verify_sequential ~sched ~probe ~case_list nl
+    else verify_parallel ~sched ~probe ~case_list ~jobs nl
   in
   let all = List.concat_map (fun r -> r.cr_violations) results in
   {
@@ -267,6 +299,11 @@ let pp ppf r =
     r.r_cases;
   Format.fprintf ppf "queued: %d   coalesced: %d   queue high-water mark: %d@,"
     r.r_obs.os_queued r.r_obs.os_coalesced r.r_obs.os_queue_hwm;
+  if r.r_obs.os_sched_levels > 0 then
+    Format.fprintf ppf
+      "sched levels: %d   sccs: %d   largest scc: %d   cache hits: %d   misses: %d@,"
+      r.r_obs.os_sched_levels r.r_obs.os_sccs r.r_obs.os_max_scc_size
+      r.r_obs.os_cache_hits r.r_obs.os_cache_misses;
   (match r.r_lint with
   | None -> ()
   | Some l ->

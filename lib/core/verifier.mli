@@ -42,6 +42,13 @@ type obs_summary = {
       (** enqueue requests absorbed because the target was already
           queued *)
   os_queue_hwm : int;  (** work-list high-water mark *)
+  os_sched_levels : int;
+      (** topological levels of the evaluation schedule; [0] under
+          [~sched:Eval.Fifo] (no schedule is computed) *)
+  os_sccs : int;  (** strongly connected components in the schedule *)
+  os_max_scc_size : int;  (** largest component; [1] when acyclic *)
+  os_cache_hits : int;  (** input-waveform cache hits (see {!Eval}) *)
+  os_cache_misses : int;  (** input-waveform cache fills *)
   os_evals_by_kind : (string * int) list;
       (** primitive evaluations per kind mnemonic, alphabetical *)
 }
@@ -81,6 +88,7 @@ val verify :
   ?probe:probe ->
   ?cases:Case_analysis.case list ->
   ?jobs:int ->
+  ?sched:Eval.mode ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
@@ -89,6 +97,15 @@ val verify :
     before} any evaluation and its summary carried in [r_lint].  When
     [probe] is given its span hook brackets every internal phase and its
     event hook (if any) sees every evaluator event.
+
+    [sched] (default {!Eval.Level}) selects the evaluator's work-list
+    discipline (CLI: [--sched fifo|level]).  Both disciplines produce
+    the same violations, waveforms and convergence verdicts; the level
+    schedule does it in fewer evaluations, so the flow counters
+    ([r_events], [r_evaluations], [r_obs]) differ between disciplines —
+    but never between job counts within one discipline (see
+    [doc/SCHEDULER.md]).  With [jobs > 1] the schedule is computed once
+    on the calling domain and shared read-only by every worker.
 
     [jobs] (default 1) is the number of domains to shard the cases
     over; [0] means {!Par.available}.  It is clamped to the case count,

@@ -16,6 +16,11 @@ let of_report ?(phases = []) (r : Verifier.report) =
         ("events_queued", r.Verifier.r_obs.Verifier.os_queued);
         ("events_coalesced", r.Verifier.r_obs.Verifier.os_coalesced);
         ("queue_hwm", r.Verifier.r_obs.Verifier.os_queue_hwm);
+        ("sched_levels", r.Verifier.r_obs.Verifier.os_sched_levels);
+        ("sccs", r.Verifier.r_obs.Verifier.os_sccs);
+        ("max_scc_size", r.Verifier.r_obs.Verifier.os_max_scc_size);
+        ("cache_hits", r.Verifier.r_obs.Verifier.os_cache_hits);
+        ("cache_misses", r.Verifier.r_obs.Verifier.os_cache_misses);
         ("cases", List.length r.Verifier.r_cases);
         ( "cases_diverged",
           List.length

@@ -20,9 +20,9 @@ let entry_of_net nl (n : Netlist.net) =
   }
 
 let build nl =
-  Array.to_list (Netlist.nets nl)
-  |> List.map (entry_of_net nl)
-  |> List.sort (fun a b -> String.compare a.x_signal b.x_signal)
+  let entries = ref [] in
+  Netlist.iter_nets nl (fun n -> entries := entry_of_net nl n :: !entries);
+  List.sort (fun a b -> String.compare a.x_signal b.x_signal) !entries
 
 let unasserted nl =
   Netlist.undriven_unasserted nl

@@ -26,6 +26,7 @@ let () =
       ("modular", Test_modular.suite);
       ("properties", Test_properties.suite);
       ("par", Test_par.suite);
+      ("sched", Test_sched.suite);
       ("reporting", Test_reporting.suite);
       ("wire-rule", Test_wire_rule.suite);
       ("physical", Test_physical.suite);

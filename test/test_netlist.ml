@@ -50,6 +50,32 @@ let test_add_and_fanout () =
     (Netlist.net nl a).Netlist.n_fanout;
   Alcotest.(check int) "one inst" 1 (Netlist.n_insts nl)
 
+let test_wide_fanout () =
+  (* fanout recording used a linear membership scan per connection,
+     making N instances on one net quadratic; this must stay linear *)
+  let nl = Netlist.create (tb ()) in
+  let a = Netlist.signal nl "A" in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    let q = Netlist.signal nl (Printf.sprintf "Q%d" i) in
+    ignore
+      (Netlist.add nl
+         (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 })
+         ~inputs:[ Netlist.conn a ] ~output:(Some q))
+  done;
+  Alcotest.(check int) "every load recorded once" n
+    (List.length (Netlist.net nl a).Netlist.n_fanout);
+  (* both inputs of one gate on the same net: still recorded once *)
+  let q = Netlist.signal nl "QQ" in
+  let inst =
+    Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn a ] ~output:(Some q)
+  in
+  let fanout = (Netlist.net nl a).Netlist.n_fanout in
+  Alcotest.(check int) "same-instance duplicate coalesced" (n + 1)
+    (List.length fanout);
+  Alcotest.(check int) "newest load at the head" inst.Netlist.i_id
+    (List.hd fanout)
+
 let test_add_arity_error () =
   let nl = Netlist.create (tb ()) in
   let a = Netlist.signal nl "A" and q = Netlist.signal nl "Q" in
@@ -110,6 +136,7 @@ let suite =
     Alcotest.test_case "signal_conn complement" `Quick test_signal_conn_complement;
     Alcotest.test_case "width" `Quick test_width;
     Alcotest.test_case "add and fanout" `Quick test_add_and_fanout;
+    Alcotest.test_case "wide fanout" `Quick test_wide_fanout;
     Alcotest.test_case "add arity error" `Quick test_add_arity_error;
     Alcotest.test_case "double drive error" `Quick test_double_drive_error;
     Alcotest.test_case "checker no output" `Quick test_checker_no_output;

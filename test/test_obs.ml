@@ -383,6 +383,11 @@ let test_metrics_json () =
       "\"events\"";
       "\"evaluations\"";
       "\"queue_hwm\"";
+      "\"sched_levels\"";
+      "\"sccs\"";
+      "\"max_scc_size\"";
+      "\"cache_hits\"";
+      "\"cache_misses\"";
       "\"events_coalesced\"";
       "\"converged\"";
       "\"evals_by_kind\"";

@@ -1,0 +1,247 @@
+(* Levelized scheduler: the schedule must reflect the circuit's
+   structure (levels, components, feedback regions), and — the contract
+   that makes it safe to ship as the default — the levelized evaluator
+   must reach exactly the verdicts of the historical FIFO relaxation on
+   every circuit, including ones that diverge. *)
+
+open Scald_core
+
+let prop = Test_par.prop
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- builders ---------------------------------------------------------------- *)
+
+let fresh_netlist () =
+  Netlist.create
+    (Timebase.make ~period_ns:50.0 ~clock_unit_ns:5.0)
+    ~default_wire_delay:Delay.zero
+
+let buf = Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 }
+
+(* IN -> B0 -> B1 -> ... -> B(n-1), one buffer per stage *)
+let chain n =
+  let nl = fresh_netlist () in
+  let input = Netlist.signal nl "IN .S0-8" in
+  let rec go i current insts =
+    if i = n then (nl, List.rev insts)
+    else begin
+      let next = Netlist.signal nl (Printf.sprintf "N%d" i) in
+      let inst =
+        Netlist.add nl ~name:(Printf.sprintf "B%d" i) buf
+          ~inputs:[ Netlist.conn current ] ~output:(Some next)
+      in
+      go (i + 1) next (inst :: insts)
+    end
+  in
+  go 0 input []
+
+let test_chain_levels () =
+  let nl, insts = chain 5 in
+  let s = Sched.compute nl in
+  Alcotest.(check int) "acyclic: one component per instance" 5 (Sched.n_sccs s);
+  Alcotest.(check int) "largest component is a single instance" 1
+    (Sched.max_scc_size s);
+  Alcotest.(check int) "no cyclic components" 0 (Sched.n_cyclic s);
+  Alcotest.(check int) "five levels" 5 (Sched.n_levels s);
+  List.iteri
+    (fun i (inst : Netlist.inst) ->
+      Alcotest.(check int)
+        (Printf.sprintf "stage %d sits at level %d" i i)
+        i
+        (Sched.level s inst.Netlist.i_id);
+      Alcotest.(check int) "acyclic instances have no slot" (-1)
+        (Sched.cyclic_slot s inst.Netlist.i_id))
+    insts
+
+let test_feedback_scc () =
+  (* the slow_loop feedback region: XD -> AND -> OR -> X -> XD *)
+  let nl = Test_par.slow_loop () in
+  let s = Sched.compute nl in
+  Alcotest.(check int) "one cyclic component" 1 (Sched.n_cyclic s);
+  Alcotest.(check int) "all three loop instances in it" 3 (Sched.max_scc_size s);
+  Alcotest.(check int) "its size by slot" 3 (Sched.cyclic_size s 0);
+  let members = ref [] in
+  Netlist.iter_insts nl (fun inst ->
+      if Sched.cyclic_slot s inst.Netlist.i_id = 0 then
+        members := inst.Netlist.i_name :: !members);
+  Alcotest.(check int) "three members carry the slot" 3 (List.length !members);
+  let region = Sched.cyclic_region s 0 nl in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "region names %s" name)
+        true
+        (contains ~sub:name region))
+    !members;
+  (* members share one component, hence one level *)
+  let levels =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun name ->
+           let l = ref [] in
+           Netlist.iter_insts nl (fun inst ->
+               if inst.Netlist.i_name = name then
+                 l := Sched.level s inst.Netlist.i_id :: !l);
+           !l)
+         !members)
+  in
+  Alcotest.(check int) "members share one level" 1 (List.length levels)
+
+let test_self_loop () =
+  let nl = fresh_netlist () in
+  let p = Netlist.signal nl "P .P(0,0)0-2" in
+  let x = Netlist.signal nl "X" in
+  ignore
+    (Netlist.add nl ~name:"SELF"
+       (Primitive.Gate
+          { fn = Primitive.Or; n_inputs = 2; invert = false; delay = Delay.zero })
+       ~inputs:[ Netlist.conn x; Netlist.conn p ]
+       ~output:(Some x));
+  let s = Sched.compute nl in
+  Alcotest.(check int) "self-loop is a cyclic component of size 1" 1
+    (Sched.cyclic_size s 0);
+  Alcotest.(check bool) "self-loop instance carries a slot" true
+    (let slot = ref (-1) in
+     Netlist.iter_insts nl (fun inst ->
+         if inst.Netlist.i_name = "SELF" then
+           slot := Sched.cyclic_slot s inst.Netlist.i_id);
+     !slot = 0)
+
+(* ---- level vs fifo equivalence ------------------------------------------------ *)
+
+(* Cross-discipline equality is verdict-based: the violation listing
+   (contents and order), per-case verdicts, convergence flags and the
+   unasserted listing must match; counters and event totals legitimately
+   differ — fewer evaluations is the point.  The one field that differs
+   on purpose is the [No_convergence] detail: the levelized verdict
+   names the feedback region, the historical one cannot. *)
+let normalize (v : Check.t) =
+  if v.Check.v_kind = Check.No_convergence then { v with Check.v_detail = "" }
+  else v
+
+let verdicts_equal (a : Verifier.report) (b : Verifier.report) =
+  let vs r = List.map normalize r in
+  let case_equal (x : Verifier.case_result) (y : Verifier.case_result) =
+    x.Verifier.cr_case = y.Verifier.cr_case
+    && vs x.Verifier.cr_violations = vs y.Verifier.cr_violations
+    && x.Verifier.cr_converged = y.Verifier.cr_converged
+  in
+  vs a.Verifier.r_violations = vs b.Verifier.r_violations
+  && a.Verifier.r_converged = b.Verifier.r_converged
+  && a.Verifier.r_unasserted = b.Verifier.r_unasserted
+  && List.length a.Verifier.r_cases = List.length b.Verifier.r_cases
+  && List.for_all2 case_equal a.Verifier.r_cases b.Verifier.r_cases
+
+let test_modes_agree_on_feedback () =
+  let run sched = Verifier.verify ~sched (Test_par.slow_loop ()) in
+  Alcotest.(check bool) "verdicts agree on the feedback circuit" true
+    (verdicts_equal (run Eval.Fifo) (run Eval.Level))
+
+let test_modes_agree_on_divergence () =
+  (* the slow-relaxation regression: case 1 diverges under both
+     disciplines, and the level verdict now names the feedback region *)
+  let run sched =
+    Verifier.verify ~sched ~cases:Test_par.slow_loop_cases (Test_par.slow_loop ())
+  in
+  let rf = run Eval.Fifo and rl = run Eval.Level in
+  Alcotest.(check bool) "fifo diverges on case 1" false rf.Verifier.r_converged;
+  Alcotest.(check bool) "level diverges on case 1" false rl.Verifier.r_converged;
+  let flags r =
+    List.map (fun (c : Verifier.case_result) -> c.Verifier.cr_converged)
+      r.Verifier.r_cases
+  in
+  Alcotest.(check (list bool)) "same per-case convergence" (flags rf) (flags rl);
+  (match Verifier.violations_of_kind Check.No_convergence rl with
+  | v :: _ ->
+    Alcotest.(check bool) "level verdict names the feedback region" true
+      (contains ~sub:"feedback region" v.Check.v_detail)
+  | [] -> Alcotest.fail "level run reported no No_convergence violation")
+
+let test_waveforms_agree () =
+  (* the converging case (CTL = 0 cuts the loop): both disciplines must
+     settle every net to the same waveform.  Diverged cases make no such
+     promise — their truncated waveforms depend on the visit order. *)
+  let case = Case_analysis.parse_exn "CTL .S0-9 = 0;\n" in
+  let nl_f = Test_par.slow_loop () and nl_l = Test_par.slow_loop () in
+  let ef = Eval.create ~mode:Eval.Fifo nl_f in
+  let el = Eval.create ~mode:Eval.Level nl_l in
+  Eval.run ~case:(Case_analysis.resolve nl_f (List.hd case)) ef;
+  Eval.run ~case:(Case_analysis.resolve nl_l (List.hd case)) el;
+  Alcotest.(check bool) "fifo converged" true (Eval.converged ef);
+  Alcotest.(check bool) "level converged" true (Eval.converged el);
+  Netlist.iter_nets nl_f (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "same waveform on %s" n.Netlist.n_name)
+        true
+        (Waveform.equal (Eval.value ef n.Netlist.n_id) (Eval.value el n.Netlist.n_id)))
+
+(* ---- counters ------------------------------------------------------------------ *)
+
+let test_structural_counters () =
+  let nl, _ = chain 4 in
+  let r = Verifier.verify nl in
+  Alcotest.(check int) "level mode surfaces the level count" 4
+    r.Verifier.r_obs.Verifier.os_sched_levels;
+  Alcotest.(check int) "and the component count" 4 r.Verifier.r_obs.Verifier.os_sccs;
+  Alcotest.(check int) "largest component" 1 r.Verifier.r_obs.Verifier.os_max_scc_size;
+  Alcotest.(check bool) "cache was exercised" true
+    (r.Verifier.r_obs.Verifier.os_cache_misses > 0);
+  let nl2, _ = chain 4 in
+  let rf = Verifier.verify ~sched:Eval.Fifo nl2 in
+  Alcotest.(check int) "fifo mode never computes a schedule" 0
+    rf.Verifier.r_obs.Verifier.os_sched_levels;
+  Alcotest.(check int) "fifo component count is zero" 0
+    rf.Verifier.r_obs.Verifier.os_sccs
+
+let test_cache_hits_during_relaxation () =
+  (* inside the feedback region the loop signal changes every pass while
+     CTL never does — re-evaluating the AND must hit the cache on the
+     CTL connection instead of recomputing its waveform *)
+  let nl = Test_par.slow_loop () in
+  let case = Case_analysis.parse_exn "CTL .S0-9 = 0;\n" in
+  let ev = Eval.create nl in
+  Eval.run ~case:(Case_analysis.resolve nl (List.hd case)) ev;
+  let c = Eval.counters ev in
+  Alcotest.(check bool) "relaxation hits the input cache" true
+    (c.Eval.c_cache_hits > 0)
+
+(* ---- properties ----------------------------------------------------------------- *)
+
+let properties =
+  [
+    prop "level and fifo verdicts agree on random netlists" Test_par.gen_recipe
+      (fun r ->
+        let cases = Test_par.recipe_cases r in
+        verdicts_equal
+          (Verifier.verify ~cases ~sched:Eval.Fifo (Test_par.build_recipe r))
+          (Verifier.verify ~cases ~sched:Eval.Level (Test_par.build_recipe r)));
+    prop "level and fifo waveforms agree on random netlists" Test_par.gen_recipe
+      (fun r ->
+        let nl_f = Test_par.build_recipe r and nl_l = Test_par.build_recipe r in
+        let ef = Eval.create ~mode:Eval.Fifo nl_f in
+        let el = Eval.create ~mode:Eval.Level nl_l in
+        Eval.run ef;
+        Eval.run el;
+        List.for_all2 Waveform.equal
+          (Test_par.waveforms nl_f ef)
+          (Test_par.waveforms nl_l el));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "chain levels" `Quick test_chain_levels;
+    Alcotest.test_case "feedback scc" `Quick test_feedback_scc;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    Alcotest.test_case "modes agree on feedback" `Quick test_modes_agree_on_feedback;
+    Alcotest.test_case "modes agree on divergence" `Quick
+      test_modes_agree_on_divergence;
+    Alcotest.test_case "waveforms agree" `Quick test_waveforms_agree;
+    Alcotest.test_case "structural counters" `Quick test_structural_counters;
+    Alcotest.test_case "cache hits during relaxation" `Quick
+      test_cache_hits_during_relaxation;
+  ]
+  @ properties
