@@ -16,7 +16,7 @@ let read_file path =
 
 let run file case_file jobs sched summary xref quiet paths corr_advice prob slack
     diagram vcd_out phys lint lint_only lint_fatal lint_json profile_out metrics_out
-    explain trace_buffer =
+    explain trace_buffer no_prune classes =
   (* The observability layer is built only when asked for; with every
      obs flag off the verifier sees no probe and the evaluator's event
      hook stays None (the zero-overhead contract of doc/OBSERVABILITY.md). *)
@@ -42,6 +42,12 @@ let run file case_file jobs sched summary xref quiet paths corr_advice prob slac
     Format.eprintf "%s: %s@." file msg;
     1
   | Ok { Scald_sdl.Expander.e_netlist = nl; e_summary; _ } ->
+    if classes then begin
+      (* Static listing only: classify and exit without evaluating, so
+         the dump also works on designs that would not converge. *)
+      Format.printf "%a@." Flow.pp_classes (Flow.analyse nl);
+      exit 0
+    end;
     if not quiet then
       Format.printf "expanded %s: %a@." file Scald_sdl.Expander.pp_summary e_summary;
     (* The static design-rule audit (lint) runs before any evaluation,
@@ -95,7 +101,7 @@ let run file case_file jobs sched summary xref quiet paths corr_advice prob slac
     let report =
       Verifier.verify
         ?probe:(Option.map Scald_obs.Obs.probe obs)
-        ~cases ~jobs:(max 0 jobs) ~sched nl
+        ~cases ~jobs:(max 0 jobs) ~sched ~prune:(not no_prune) nl
     in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
@@ -292,6 +298,24 @@ let trace_buffer =
   in
   Arg.(value & opt int 4096 & info [ "trace-buffer" ] ~docv:"N" ~doc)
 
+let no_prune =
+  let doc =
+    "Disable stable-cone pruning: evaluate every instance on every pass \
+     instead of freezing the instances whose entire input support the static \
+     signal-class analysis proved constant or stable.  Pruning never changes \
+     the verdict; this flag exists to measure it and to rule it out."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let classes =
+  let doc =
+    "Print the signal class listing — every net's statically inferred class \
+     ($(b,const), $(b,stable), $(b,clock), $(b,data), $(b,unknown)) with its \
+     clock domains and the witness that produced it — and exit without \
+     evaluating."
+  in
+  Arg.(value & flag & info [ "classes" ] ~doc)
+
 let cmd =
   let doc = "verify the timing constraints of a synchronous digital design" in
   let man =
@@ -312,6 +336,7 @@ let cmd =
     Term.(
       const run $ file $ case_file $ jobs $ sched $ summary $ xref $ quiet $ paths
       $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
-      $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer)
+      $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer
+      $ no_prune $ classes)
 
 let () = exit (Cmd.eval' cmd)

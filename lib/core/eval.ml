@@ -57,6 +57,13 @@ type t = {
   mat_wf : Waveform.t array;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* Stable-cone pruning (doc/FLOW.md): instances the static analysis
+     proved inert are frozen after the first run and skipped at enqueue
+     time.  [frozen] stays all-false without a [flow] table. *)
+  flow : Flow.t option;
+  frozen : bool array;
+  mutable froze : bool;
+  mutable pruned_evals : int;
   mutable events : int;
   mutable evals : int;
   mutable queued : int;
@@ -68,7 +75,7 @@ type t = {
   mutable initialized : bool;
 }
 
-let create ?(mode = Level) ?sched nl =
+let create ?(mode = Level) ?sched ?flow nl =
   let n_insts = Netlist.n_insts nl in
   let conn_base = Array.make (max 1 n_insts) 0 in
   let n_conns = ref 0 in
@@ -106,6 +113,10 @@ let create ?(mode = Level) ?sched nl =
     mat_wf = Array.make (max 1 n_insts) dummy_wf;
     cache_hits = 0;
     cache_misses = 0;
+    flow;
+    frozen = Array.make (max 1 n_insts) false;
+    froze = false;
+    pruned_evals = 0;
     events = 0;
     evals = 0;
     queued = 0;
@@ -132,6 +143,7 @@ let reset_counters t =
   t.queue_hwm <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
+  t.pruned_evals <- 0;
   Array.fill t.evals_by_kind 0 n_kinds 0
 
 type counters = {
@@ -145,6 +157,13 @@ type counters = {
   c_max_scc_size : int;
   c_cache_hits : int;
   c_cache_misses : int;
+  c_pruned_insts : int;
+  c_pruned_evals : int;
+  c_nets_const : int;
+  c_nets_stable : int;
+  c_nets_clock : int;
+  c_nets_data : int;
+  c_nets_unknown : int;
   c_evals_by_kind : (string * int) list;
 }
 
@@ -159,6 +178,11 @@ let counters t =
     | Some s -> (Sched.n_levels s, Sched.n_sccs s, Sched.max_scc_size s)
     | None -> (0, 0, 0)
   in
+  let pruned_insts, (nc, ns, nck, nd, nu) =
+    match t.flow with
+    | Some f -> ((if t.froze then Flow.n_prunable f else 0), Flow.class_counts f)
+    | None -> (0, (0, 0, 0, 0, 0))
+  in
   {
     c_events = t.events;
     c_evaluations = t.evals;
@@ -170,6 +194,13 @@ let counters t =
     c_max_scc_size = max_scc;
     c_cache_hits = t.cache_hits;
     c_cache_misses = t.cache_misses;
+    c_pruned_insts = pruned_insts;
+    c_pruned_evals = t.pruned_evals;
+    c_nets_const = nc;
+    c_nets_stable = ns;
+    c_nets_clock = nck;
+    c_nets_data = nd;
+    c_nets_unknown = nu;
     c_evals_by_kind =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
   }
@@ -215,18 +246,24 @@ let ensure_sched t =
     end
 
 let enqueue t inst_id =
-  t.queued <- t.queued + 1;
-  if t.in_queue.(inst_id) then t.coalesced <- t.coalesced + 1
+  if t.frozen.(inst_id) then
+    (* a frozen instance is never on the work list, so every skipped
+       request is exactly one avoided evaluation *)
+    t.pruned_evals <- t.pruned_evals + 1
   else begin
-    t.in_queue.(inst_id) <- true;
-    (match t.mode with
-    | Fifo -> Queue.add inst_id t.queue
-    | Level ->
-      let l = Sched.level (Option.get t.sched) inst_id in
-      Queue.add inst_id t.buckets.(l);
-      if l < t.cur_level then t.cur_level <- l);
-    t.queue_len <- t.queue_len + 1;
-    if t.queue_len > t.queue_hwm then t.queue_hwm <- t.queue_len
+    t.queued <- t.queued + 1;
+    if t.in_queue.(inst_id) then t.coalesced <- t.coalesced + 1
+    else begin
+      t.in_queue.(inst_id) <- true;
+      (match t.mode with
+      | Fifo -> Queue.add inst_id t.queue
+      | Level ->
+        let l = Sched.level (Option.get t.sched) inst_id in
+        Queue.add inst_id t.buckets.(l);
+        if l < t.cur_level then t.cur_level <- l);
+      t.queue_len <- t.queue_len + 1;
+      if t.queue_len > t.queue_hwm then t.queue_hwm <- t.queue_len
+    end
   end
 
 let enqueue_fanout t net_id =
@@ -686,7 +723,20 @@ let run ?(case = []) t =
         end)
       wanted
   end;
-  fixpoint t
+  fixpoint t;
+  (* Freeze after the first run: every instance has been evaluated at
+     least once by now, and a provably inert instance (doc/FLOW.md) can
+     only ever recompute what it already holds — the work list need
+     never see it again.  The set is static, so every evaluator of the
+     same netlist (including the Netlist.copys of parallel case
+     evaluation) freezes identically. *)
+  match t.flow with
+  | Some f when not t.froze ->
+    t.froze <- true;
+    for id = 0 to Netlist.n_insts t.nl - 1 do
+      if Flow.prunable f id then t.frozen.(id) <- true
+    done
+  | Some _ | None -> ()
 
 let value t id = (Netlist.net t.nl id).n_value
 

@@ -33,11 +33,19 @@ type mode =
   | Fifo  (** historical FIFO relaxation *)
   | Level  (** level-ordered sweep, FIFO inside feedback components *)
 
-val create : ?mode:mode -> ?sched:Sched.t -> Netlist.t -> t
+val create : ?mode:mode -> ?sched:Sched.t -> ?flow:Flow.t -> Netlist.t -> t
 (** [mode] defaults to {!Level}.  [sched] supplies a precomputed
     schedule (it must describe the same structure, e.g. the original of
     a {!Netlist.copy}); without it, {!Level} mode computes one at the
-    first {!run}.  [sched] is ignored in {!Fifo} mode. *)
+    first {!run}.  [sched] is ignored in {!Fifo} mode.
+
+    [flow] enables stable-cone pruning (doc/FLOW.md): after the first
+    {!run} — which evaluates every instance at least once — instances
+    the analysis proved inert ({!Flow.prunable}) are frozen and skipped
+    by every later enqueue.  The analysis must describe the same
+    structure and must have been given the union of the mapped nets of
+    every case that will be run ([Flow.analyse ~case_nets]); both modes
+    honour it.  Without [flow] nothing is ever frozen. *)
 
 val mode : t -> mode
 
@@ -104,6 +112,15 @@ type counters = {
   c_cache_hits : int;
       (** input-waveform / register-data cache hits (generation match) *)
   c_cache_misses : int;  (** cache fills *)
+  c_pruned_insts : int;
+      (** instances frozen by stable-cone pruning; [0] until the first
+          run has completed, or when no {!Flow.t} was supplied *)
+  c_pruned_evals : int;  (** evaluations skipped on frozen instances *)
+  c_nets_const : int;  (** nets per {!Flow.cls}; all [0] without a flow *)
+  c_nets_stable : int;
+  c_nets_clock : int;
+  c_nets_data : int;
+  c_nets_unknown : int;
   c_evals_by_kind : (string * int) list;
       (** evaluations per primitive mnemonic, e.g. [("REG", 42)];
           alphabetical, zero-count kinds omitted *)
@@ -112,8 +129,10 @@ type counters = {
 val counters : t -> counters
 (** Snapshot of the counters accumulated since creation (or the last
     {!reset_counters}).  The schedule-shape fields ([c_sched_levels],
-    [c_sccs], [c_max_scc_size]) are properties of the netlist, not
-    accumulators — {!reset_counters} leaves them readable. *)
+    [c_sccs], [c_max_scc_size]) and the pruning-shape fields
+    ([c_pruned_insts], [c_nets_*]) are properties of the netlist and its
+    analysis, not accumulators — {!reset_counters} leaves them
+    readable. *)
 
 val set_event_hook : t -> (inst_id:int -> net_id:int -> unit) option -> unit
 (** Install (or clear) a hook called once per event, {e after} the

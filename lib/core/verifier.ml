@@ -22,6 +22,13 @@ type obs_summary = {
   os_max_scc_size : int;
   os_cache_hits : int;
   os_cache_misses : int;
+  os_pruned_insts : int;
+  os_pruned_evals : int;
+  os_nets_const : int;
+  os_nets_stable : int;
+  os_nets_clock : int;
+  os_nets_data : int;
+  os_nets_unknown : int;
   os_evals_by_kind : (string * int) list;
 }
 
@@ -67,6 +74,13 @@ let obs_of_counters (c : Eval.counters) =
     os_max_scc_size = c.Eval.c_max_scc_size;
     os_cache_hits = c.Eval.c_cache_hits;
     os_cache_misses = c.Eval.c_cache_misses;
+    os_pruned_insts = c.Eval.c_pruned_insts;
+    os_pruned_evals = c.Eval.c_pruned_evals;
+    os_nets_const = c.Eval.c_nets_const;
+    os_nets_stable = c.Eval.c_nets_stable;
+    os_nets_clock = c.Eval.c_nets_clock;
+    os_nets_data = c.Eval.c_nets_data;
+    os_nets_unknown = c.Eval.c_nets_unknown;
     os_evals_by_kind = c.Eval.c_evals_by_kind;
   }
 
@@ -86,14 +100,15 @@ let merge_by_kind a b =
 
 (* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
 
-let verify_sequential ~sched ~probe ~case_list nl =
+let verify_sequential ~sched ~probe ~analysis ~case_list nl =
   (* [span] must stay let-bound polymorphic (it wraps both unit and
      list-returning phases), so each engine rebuilds it from [probe]
      rather than taking it as a (monomorphic) argument. *)
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
-  let ev = Eval.create ~mode:sched nl in
+  let schedule = Option.map fst analysis and flow = Option.map snd analysis in
+  let ev = Eval.create ~mode:sched ?sched:schedule ?flow nl in
   (match probe with
   | Some { pr_event = Some _ as h; _ } -> Eval.set_event_hook ev h
   | Some { pr_event = None; _ } | None -> ());
@@ -126,7 +141,7 @@ let verify_sequential ~sched ~probe ~case_list nl =
    measured case starts from exactly the state the sequential run would
    have given it — per-case event counts, violations and the merged
    counters are then identical to [jobs:1] (doc/PARALLEL.md). *)
-let verify_parallel ~sched ~probe ~case_list ~jobs nl =
+let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
@@ -143,17 +158,22 @@ let verify_parallel ~sched ~probe ~case_list ~jobs nl =
   let netlists =
     Array.init jobs (fun k -> if k = 0 then nl else Netlist.copy nl)
   in
-  (* The schedule is purely structural and identical for every copy, so
-     it is computed once here and shared read-only by all domains. *)
+  (* The schedule and the flow analysis are purely structural and
+     identical for every copy (ids are preserved), so they are computed
+     once and shared read-only by all domains. *)
+  let flow = Option.map snd analysis in
   let schedule =
-    match sched with Eval.Level -> Some (Sched.compute nl) | Eval.Fifo -> None
+    match analysis, sched with
+    | Some (s, _), _ -> Some s
+    | None, Eval.Level -> Some (Sched.compute nl)
+    | None, Eval.Fifo -> None
   in
   let record_events =
     match probe with Some { pr_event = Some _; _ } -> true | _ -> false
   in
   let run_shard k =
     let lo, hi = shards.(k) in
-    let ev = Eval.create ~mode:sched ?sched:schedule netlists.(k) in
+    let ev = Eval.create ~mode:sched ?sched:schedule ?flow netlists.(k) in
     if lo > 0 then begin
       (* Warm-start priming: un-measured, un-hooked, un-counted.  The
          check pass is replayed too: it fills the input-waveform cache
@@ -226,6 +246,13 @@ let verify_parallel ~sched ~probe ~case_list ~jobs nl =
           c_max_scc_size = max acc.Eval.c_max_scc_size c.Eval.c_max_scc_size;
           c_cache_hits = acc.Eval.c_cache_hits + c.Eval.c_cache_hits;
           c_cache_misses = acc.Eval.c_cache_misses + c.Eval.c_cache_misses;
+          c_pruned_insts = max acc.Eval.c_pruned_insts c.Eval.c_pruned_insts;
+          c_pruned_evals = acc.Eval.c_pruned_evals + c.Eval.c_pruned_evals;
+          c_nets_const = max acc.Eval.c_nets_const c.Eval.c_nets_const;
+          c_nets_stable = max acc.Eval.c_nets_stable c.Eval.c_nets_stable;
+          c_nets_clock = max acc.Eval.c_nets_clock c.Eval.c_nets_clock;
+          c_nets_data = max acc.Eval.c_nets_data c.Eval.c_nets_data;
+          c_nets_unknown = max acc.Eval.c_nets_unknown c.Eval.c_nets_unknown;
           c_evals_by_kind = merge_by_kind acc.Eval.c_evals_by_kind c.Eval.c_evals_by_kind;
         })
       {
@@ -239,6 +266,13 @@ let verify_parallel ~sched ~probe ~case_list ~jobs nl =
         c_max_scc_size = 0;
         c_cache_hits = 0;
         c_cache_misses = 0;
+        c_pruned_insts = 0;
+        c_pruned_evals = 0;
+        c_nets_const = 0;
+        c_nets_stable = 0;
+        c_nets_clock = 0;
+        c_nets_data = 0;
+        c_nets_unknown = 0;
         c_evals_by_kind = [];
       }
       shard_results
@@ -248,7 +282,8 @@ let verify_parallel ~sched ~probe ~case_list ~jobs nl =
   let _, _, last_ev = shard_results.(jobs - 1) in
   (results, counters, last_ev)
 
-let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level) nl =
+let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
+    ?(prune = true) nl =
   if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
@@ -259,11 +294,25 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level) nl =
     | Some f -> Some (span "lint" (fun () -> f nl))
   in
   let case_list = match cases with [] -> [ [] ] | cs -> cs in
+  (* One static analysis per netlist, shared read-only by every
+     evaluation domain.  The flow must know every net any case of this
+     run may substitute, so nothing in a case-mapped cone is frozen. *)
+  let analysis =
+    if not prune then None
+    else
+      let case_nets =
+        List.concat_map
+          (fun c -> List.map fst (Case_analysis.resolve nl c))
+          case_list
+      in
+      let schedule = Sched.compute nl in
+      Some (schedule, span "flow" (fun () -> Flow.analyse ~sched:schedule ~case_nets nl))
+  in
   let jobs = if jobs = 0 then Par.available () else jobs in
   let jobs = max 1 (min jobs (List.length case_list)) in
   let results, counters, ev =
-    if jobs = 1 then verify_sequential ~sched ~probe ~case_list nl
-    else verify_parallel ~sched ~probe ~case_list ~jobs nl
+    if jobs = 1 then verify_sequential ~sched ~probe ~analysis ~case_list nl
+    else verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl
   in
   let all = List.concat_map (fun r -> r.cr_violations) results in
   {
@@ -304,6 +353,17 @@ let pp ppf r =
       "sched levels: %d   sccs: %d   largest scc: %d   cache hits: %d   misses: %d@,"
       r.r_obs.os_sched_levels r.r_obs.os_sccs r.r_obs.os_max_scc_size
       r.r_obs.os_cache_hits r.r_obs.os_cache_misses;
+  let o = r.r_obs in
+  if o.os_nets_const + o.os_nets_stable + o.os_nets_clock + o.os_nets_data
+     + o.os_nets_unknown > 0
+  then begin
+    Format.fprintf ppf
+      "net classes: %d const, %d stable, %d clock, %d data, %d unknown@,"
+      o.os_nets_const o.os_nets_stable o.os_nets_clock o.os_nets_data
+      o.os_nets_unknown;
+    Format.fprintf ppf "pruned: %d instances, %d evaluations skipped@,"
+      o.os_pruned_insts o.os_pruned_evals
+  end;
   (match r.r_lint with
   | None -> ()
   | Some l ->

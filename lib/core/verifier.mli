@@ -49,6 +49,16 @@ type obs_summary = {
   os_max_scc_size : int;  (** largest component; [1] when acyclic *)
   os_cache_hits : int;  (** input-waveform cache hits (see {!Eval}) *)
   os_cache_misses : int;  (** input-waveform cache fills *)
+  os_pruned_insts : int;
+      (** instances frozen by stable-cone pruning; [0] under
+          [~prune:false] *)
+  os_pruned_evals : int;  (** evaluations skipped on frozen instances *)
+  os_nets_const : int;
+      (** nets per inferred {!Flow.cls}; all [0] under [~prune:false] *)
+  os_nets_stable : int;
+  os_nets_clock : int;
+  os_nets_data : int;
+  os_nets_unknown : int;
   os_evals_by_kind : (string * int) list;
       (** primitive evaluations per kind mnemonic, alphabetical *)
 }
@@ -89,6 +99,7 @@ val verify :
   ?cases:Case_analysis.case list ->
   ?jobs:int ->
   ?sched:Eval.mode ->
+  ?prune:bool ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
@@ -116,6 +127,16 @@ val verify :
     and ["merge:events"] spans from the calling domain), and per-event
     hook calls are buffered per domain and replayed in case order after
     the join, so the event stream a consumer sees is the sequential one.
+
+    [prune] (default [true]) runs the static signal-class analysis
+    ({!Flow.analyse}, fed the union of the mapped nets of every case)
+    and lets the evaluator freeze instances whose entire input support
+    is provably constant or stable after their first evaluation
+    (doc/FLOW.md).  Pruning never changes the verdict — waveforms,
+    violations, per-case event counts and convergence flags are
+    bit-identical to [~prune:false]; only the work counters differ
+    (fewer evaluations and enqueues, [os_pruned_insts] /
+    [os_pruned_evals] non-zero).  CLI: [--no-prune].
     @raise Invalid_argument when [jobs < 0]. *)
 
 val clean : report -> bool

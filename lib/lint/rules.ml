@@ -22,11 +22,6 @@ let is_clock_assertion (a : Assertion.t) =
   | Assertion.Precision_clock | Assertion.Nonprecision_clock -> true
   | Assertion.Stable -> false
 
-let net_clock nl id =
-  match (Netlist.net nl id).Netlist.n_assertion with
-  | Some a when is_clock_assertion a -> Some a
-  | _ -> None
-
 let net_name nl id = (Netlist.net nl id).Netlist.n_name
 
 (* The edge-sensitive clock/enable input of an instance, if it has one,
@@ -48,27 +43,21 @@ let is_gating = function
   | Primitive.Gate _ | Primitive.Buf _ | Primitive.Mux2 _ -> true
   | _ -> false
 
-(* Does the backward cone of net [id], walking through drivers, reach a
-   signal carrying a clock assertion?  Bounded by the visited set, so
-   cycles terminate. *)
-let clock_reaches nl id =
-  let seen = Hashtbl.create 16 in
-  let rec go id =
-    if Hashtbl.mem seen id then false
-    else begin
-      Hashtbl.add seen id ();
-      match net_clock nl id with
-      | Some _ -> true
-      | None -> (
-        match (Netlist.net nl id).Netlist.n_driver with
-        | None -> false
-        | Some d ->
-          Array.exists
-            (fun (c : Netlist.conn) -> go c.c_net)
-            (Netlist.inst nl d).Netlist.i_inputs)
-    end
-  in
-  go id
+(* The signal-class analysis (Flow) answers every cone question the
+   rules ask — clock reachability (C1), derived clocks (C4, K7), clock
+   domains (C6, C7).  One analysis per netlist, memoized on physical
+   equality: the driver runs each rule over the same netlist value. *)
+let flow_cache : (Netlist.t * Flow.t) option ref = ref None
+
+let flow_for nl =
+  match !flow_cache with
+  | Some (nl', f) when nl' == nl -> f
+  | _ ->
+    let f = Flow.analyse nl in
+    flow_cache := Some (nl, f);
+    f
+
+let domain_names nl ds = String.concat ", " (List.map (net_name nl) ds)
 
 (* Maximum number of gating levels strictly below an instance's output.
    Combinational cycles count as unbounded depth (their letters are
@@ -131,12 +120,15 @@ let wire_dmax nl id =
 
 (* ---- completeness rules --------------------------------------------------- *)
 
-(* C1: every edge-sensitive input traces back to a clock assertion. *)
+(* C1: every edge-sensitive input traces back to a clock assertion.
+   [Flow.reaches_clock] is the shared cone analysis' answer to exactly
+   the question the old private DFS asked. *)
 let check_c1 nl =
+  let flow = flow_for nl in
   let acc = ref [] in
   Netlist.iter_insts nl (fun i ->
       match edge_input i with
-      | Some (c, label) when not (clock_reaches nl c.Netlist.c_net) ->
+      | Some (c, label) when not (Flow.reaches_clock flow c.Netlist.c_net) ->
         acc :=
           finding "C1" R.Error (R.Inst i.Netlist.i_name)
             (Printf.sprintf
@@ -185,18 +177,20 @@ let check_c3 nl =
   List.rev !acc
 
 (* C4: gated clocks carry an &A/&H hazard directive (2.6).  An explicit
-   non-hazard directive counts as a designer waiver and is only
-   noted. *)
+   non-hazard directive counts as a designer waiver and is only noted.
+   Keyed on the inferred class, not the assertion, so a clock derived
+   through buffers or prior gating is still recognized as a clock. *)
 let check_c4 nl =
+  let flow = flow_for nl in
   let acc = ref [] in
   Netlist.iter_insts nl (fun i ->
       match i.Netlist.i_prim with
       | Primitive.Gate _ | Primitive.Mux2 _ ->
         Array.iter
           (fun (c : Netlist.conn) ->
-            match net_clock nl c.Netlist.c_net with
-            | None -> ()
-            | Some _ ->
+            match Flow.cls flow c.Netlist.c_net with
+            | Flow.Const _ | Flow.Stable | Flow.Data _ | Flow.Unknown -> ()
+            | Flow.Clock _ ->
               if List.exists Directive.check_hazard c.Netlist.c_directive then ()
               else if c.Netlist.c_directive <> [] then
                 acc :=
@@ -241,6 +235,76 @@ let check_c5 nl =
               "state the skew explicitly with a (minus,plus) skew spec, e.g. .P(-1.0,1.0)2-3 (thesis 2.5)"
             :: !acc
       | _ -> ());
+  List.rev !acc
+
+(* C6: a register's data must move in (a subset of) the domains of the
+   clock that captures it.  Data tagged with domains the capturing
+   clock is not part of crossed over from another clock domain with no
+   constraint relating the two — the classic unconstrained CDC.  Empty
+   data domains (changing primary inputs) are the ordinary synchronous
+   case and say nothing about crossing. *)
+let check_c6 nl =
+  let flow = flow_for nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      match i.Netlist.i_prim with
+      | Primitive.Reg _ ->
+        let data = i.Netlist.i_inputs.(0).Netlist.c_net in
+        let clk = i.Netlist.i_inputs.(1).Netlist.c_net in
+        let dd = Flow.domains flow data in
+        let dc = Flow.domains flow clk in
+        if
+          dd <> [] && dc <> []
+          && not (List.for_all (fun d -> List.mem d dd) dc)
+        then
+          acc :=
+            finding "C6" R.Warning (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "data input %s moves in clock domain(s) {%s} but is captured by %s of domain {%s} — an unconstrained clock-domain crossing"
+                 (net_name nl data) (domain_names nl dd) (net_name nl clk)
+                 (domain_names nl dc))
+              "the two clocks share no timing relation the verifier can use; synchronize the crossing or relate the clocks with skew specs (thesis 2.5)"
+            :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* C7: convergent logic mixing two clock domains.  Two inputs of one
+   gate whose domain sets are non-empty and disjoint carry values timed
+   by unrelated clocks; their combination has no single-cycle meaning.
+   Inputs sharing any domain (a parity tree, an ALU) are fine, as are
+   clock-class inputs — gating is C4/K7's business, not convergence. *)
+let check_c7 nl =
+  let flow = flow_for nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      if is_gating i.Netlist.i_prim then begin
+        let data_inputs =
+          Array.to_list i.Netlist.i_inputs
+          |> List.filter_map (fun (c : Netlist.conn) ->
+                 match Flow.cls flow c.Netlist.c_net with
+                 | Flow.Data (_ :: _ as ds) -> Some (c.Netlist.c_net, ds)
+                 | _ -> None)
+        in
+        let disjoint a b = not (List.exists (fun d -> List.mem d b) a) in
+        let rec first_pair = function
+          | [] -> None
+          | (n, ds) :: rest -> (
+            match List.find_opt (fun (_, ds') -> disjoint ds ds') rest with
+            | Some (n', ds') -> Some ((n, ds), (n', ds'))
+            | None -> first_pair rest)
+        in
+        match first_pair data_inputs with
+        | Some ((n1, d1), (n2, d2)) ->
+          acc :=
+            finding "C7" R.Warning (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "inputs %s {%s} and %s {%s} converge from disjoint clock domains — their relative timing is unconstrained"
+                 (net_name nl n1) (domain_names nl d1) (net_name nl n2)
+                 (domain_names nl d2))
+              "split the function per domain, synchronize one side, or resolve the ambiguity with case analysis (thesis 2.7)"
+            :: !acc
+        | None -> ()
+      end);
   List.rev !acc
 
 (* ---- consistency rules ----------------------------------------------------- *)
@@ -469,6 +533,58 @@ let check_k6 nl =
           :: !acc);
   List.rev !acc
 
+(* K7: a clock gated by data of its own domain — the §2.6 hazard shape.
+   The gating signal is launched by the very clock it gates, so it is
+   guaranteed to change in the window where the clock's edges live;
+   whether a runt pulse escapes depends only on the delay race.  The
+   inferred domain is the evidence: Flow tagged the data input with the
+   same domain root the clock-class input carries. *)
+let check_k7 nl =
+  let flow = flow_for nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      if is_gating i.Netlist.i_prim then begin
+        let inputs = Array.to_list i.Netlist.i_inputs in
+        let clocks =
+          List.filter_map
+            (fun (c : Netlist.conn) ->
+              match Flow.cls flow c.Netlist.c_net with
+              | Flow.Clock { domains; _ } -> Some (c.Netlist.c_net, domains)
+              | _ -> None)
+            inputs
+        in
+        let datas =
+          List.filter_map
+            (fun (c : Netlist.conn) ->
+              match Flow.cls flow c.Netlist.c_net with
+              | Flow.Data (_ :: _ as ds) -> Some (c.Netlist.c_net, ds)
+              | _ -> None)
+            inputs
+        in
+        let hit =
+          List.find_map
+            (fun (cn, cd) ->
+              List.find_map
+                (fun (dn, dd) ->
+                  match List.filter (fun d -> List.mem d cd) dd with
+                  | [] -> None
+                  | shared -> Some (cn, dn, shared))
+                datas)
+            clocks
+        in
+        match hit with
+        | Some (cn, dn, shared) ->
+          acc :=
+            finding "K7" R.Warning (R.Inst i.Netlist.i_name)
+              (Printf.sprintf
+                 "clock %s is gated by %s, data launched by its own domain {%s} — the gate control races the clock edge it qualifies"
+                 (net_name nl cn) (net_name nl dn) (domain_names nl shared))
+              "re-time the gating term off the opposite edge or qualify with an unrelated stable signal; &A/&H only detects the hazard, it does not remove it (thesis 2.6)"
+            :: !acc
+        | None -> ()
+      end);
+  List.rev !acc
+
 (* ---- catalogue ------------------------------------------------------------- *)
 
 let all =
@@ -483,6 +599,10 @@ let all =
       severity = R.Warning; check = check_c4 };
     { id = "C5"; title = "clock skew stated where design rules default it";
       section = "2.5, 3.3"; severity = R.Info; check = check_c5 };
+    { id = "C6"; title = "register data and clock agree on the clock domain";
+      section = "2.1, 2.5"; severity = R.Warning; check = check_c6 };
+    { id = "C7"; title = "no convergence of disjoint clock domains";
+      section = "2.7"; severity = R.Warning; check = check_c7 };
     { id = "K1"; title = "delay ranges sane and within the period";
       section = "1.4.1.1"; severity = R.Error; check = check_k1 };
     { id = "K2"; title = "checker constraints feasible within the period";
@@ -495,6 +615,8 @@ let all =
       section = "2.5.1"; severity = R.Error; check = check_k5 };
     { id = "K6"; title = "no dead logic"; section = "2.5";
       severity = R.Warning; check = check_k6 };
+    { id = "K7"; title = "clocks not gated by data of their own domain";
+      section = "2.6"; severity = R.Warning; check = check_k7 };
   ]
 
 let find id =

@@ -120,13 +120,52 @@ let test_k6 () =
     "1 CHG (DELAY=1.0/2.0) (D .S0-4) -> X;\n\
      SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (X, CK .P2-3);\n"
 
+(* ---- signal-class (Flow-backed) rules -------------------------------------- *)
+
+let test_c6 () =
+  (* data launched by CK A, captured by CK B: an unconstrained crossing *)
+  check_fires "C6"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK A .P5-6) -> QA;\n\
+     REG (DELAY=1.5/4.5) (QA, CK B .P2-3) -> QX;\n";
+  (* same clock on both registers: no crossing *)
+  check_passes "C6"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK A .P5-6) -> QA;\n\
+     REG (DELAY=1.5/4.5) (QA, CK A .P5-6) -> QX;\n";
+  (* primary data (empty domain set) is the ordinary synchronous case *)
+  check_passes "C6" "REG (DELAY=1.5/4.5) (D .S0-4, CK A .P5-6) -> QA;\n"
+
+let test_c7 () =
+  check_fires "C7"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK A .P5-6) -> QA;\n\
+     REG (DELAY=1.5/4.5) (E .S0-4, CK B .P2-3) -> QB;\n\
+     2 AND (DELAY=1.0/2.0) (QA, QB) -> MIX;\n";
+  (* inputs sharing a domain (one clock) converge legitimately *)
+  check_passes "C7"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK A .P5-6) -> QA;\n\
+     REG (DELAY=1.5/4.5) (E .S0-4, CK A .P5-6) -> QB;\n\
+     2 AND (DELAY=1.0/2.0) (QA, QB) -> MIX;\n"
+
+let test_k7 () =
+  (* the gate control is launched by the very clock it gates; the &H
+     directive waives C4 but the race itself remains K7's business *)
+  check_fires "K7"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK .P2-3) -> Q;\n\
+     2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, Q) -> G;\n";
+  (* gating by an unrelated stable enable is the sanctioned shape *)
+  check_passes "K7" "2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, EN .S0-8) -> G;\n";
+  (* data from another domain is a crossing (C6/C7), not this race *)
+  check_passes "K7"
+    "REG (DELAY=1.5/4.5) (D .S0-4, CK B .P5-6) -> Q;\n\
+     2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, Q) -> G;\n"
+
 (* ---- catalogue ------------------------------------------------------------- *)
 
 let test_catalogue () =
-  Alcotest.(check int) "eleven rules" 11 (List.length Rules.all);
+  Alcotest.(check int) "fourteen rules" 14 (List.length Rules.all);
   let ids = List.map (fun (r : Rules.rule) -> r.Rules.id) Rules.all in
   Alcotest.(check (list string)) "ids"
-    [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6" ]
+    [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6"; "C7";
+      "K1"; "K2"; "K3"; "K4"; "K5"; "K6"; "K7" ]
     ids;
   (match Rules.find "k4" with
   | Some r -> Alcotest.(check string) "find is case-insensitive" "K4" r.Rules.id
@@ -144,10 +183,26 @@ let read_file path =
 let test_underconstrained_example () =
   let r = Lint.audit (load (read_file "../examples/underconstrained.sdl")) in
   let ids = LR.rule_ids r in
-  Alcotest.(check (list string)) "every rule fires"
+  (* every structural rule fires; the CDC rules C6/C7/K7 need a second
+     clock domain and are exercised by examples/cdc.sdl instead *)
+  Alcotest.(check (list string)) "structural rules fire"
     [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6" ]
     ids;
   Alcotest.(check bool) "has lint errors" false (LR.clean r)
+
+let test_cdc_example () =
+  let r = Lint.audit (load (read_file "../examples/cdc.sdl")) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " fires on cdc.sdl") true (fires id r))
+    [ "C6"; "C7"; "K7" ];
+  Alcotest.(check int) "no lint errors" 0 (LR.count LR.Error r)
+
+let test_cdc_golden () =
+  let r = Lint.audit (load (read_file "../examples/cdc.sdl")) in
+  let actual = Format.asprintf "%a" LR.pp r in
+  let golden = read_file "golden/cdc_lint.txt" in
+  Alcotest.(check string) "cdc lint listing snapshot" golden actual
 
 let test_s1_subset_clean () =
   let r = Lint.audit (load (read_file "../examples/s1_subset.sdl")) in
@@ -263,9 +318,14 @@ let suite =
     Alcotest.test_case "K4 combinational cycles" `Quick test_k4;
     Alcotest.test_case "K5 assertion consistency" `Quick test_k5;
     Alcotest.test_case "K6 dead logic" `Quick test_k6;
+    Alcotest.test_case "C6 clock-domain crossings" `Quick test_c6;
+    Alcotest.test_case "C7 domain convergence" `Quick test_c7;
+    Alcotest.test_case "K7 same-domain clock gating" `Quick test_k7;
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "underconstrained example fires all rules" `Quick
       test_underconstrained_example;
+    Alcotest.test_case "cdc example fires the CDC rules" `Quick test_cdc_example;
+    Alcotest.test_case "cdc lint listing snapshot" `Quick test_cdc_golden;
     Alcotest.test_case "s1_subset has no lint errors" `Quick test_s1_subset_clean;
     Alcotest.test_case "s1_subset lint listing snapshot" `Quick test_s1_subset_golden;
     Alcotest.test_case "JSON round-trip on real findings" `Quick test_json_roundtrip;

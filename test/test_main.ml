@@ -27,6 +27,7 @@ let () =
       ("properties", Test_properties.suite);
       ("par", Test_par.suite);
       ("sched", Test_sched.suite);
+      ("flow", Test_flow.suite);
       ("reporting", Test_reporting.suite);
       ("wire-rule", Test_wire_rule.suite);
       ("physical", Test_physical.suite);

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Validate a JSON document against a small JSON-Schema subset.
 
-Usage: check_schema.py SCHEMA.json DOCUMENT.json
+Usage: check_schema.py [--lines] SCHEMA.json DOCUMENT.json
+
+With --lines the document is JSON Lines (one object per line, as
+written by scald_tv --lint-json) and every line is validated against
+the schema independently; blank lines are ignored.
 
 Supports the keywords the checked-in schemas under doc/ actually use
 — type, enum, required, properties, additionalProperties, items,
@@ -69,22 +73,39 @@ def validate(schema, value, path, errors):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    lines_mode = "--lines" in args
+    args = [a for a in args if a != "--lines"]
+    if len(args) != 2:
         sys.exit(__doc__.strip())
-    with open(sys.argv[1]) as f:
+    schema_path, doc_path = args
+    with open(schema_path) as f:
         schema = json.load(f)
-    try:
-        with open(sys.argv[2]) as f:
-            document = json.load(f)
-    except json.JSONDecodeError as e:
-        sys.exit(f"{sys.argv[2]}: not valid JSON: {e}")
     errors = []
-    validate(schema, document, "$", errors)
+    if lines_mode:
+        with open(doc_path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append(f"line {lineno}: not valid JSON: {e}")
+                    continue
+                validate(schema, document, f"line {lineno}: $", errors)
+    else:
+        try:
+            with open(doc_path) as f:
+                document = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{doc_path}: not valid JSON: {e}")
+        validate(schema, document, "$", errors)
     if errors:
         for e in errors:
-            print(f"{sys.argv[2]}: {e}", file=sys.stderr)
+            print(f"{doc_path}: {e}", file=sys.stderr)
         sys.exit(1)
-    print(f"{sys.argv[2]}: valid against {sys.argv[1]}")
+    print(f"{doc_path}: valid against {schema_path}")
 
 
 if __name__ == "__main__":
