@@ -21,7 +21,7 @@ let timed f =
 
 (* With --metrics-dir DIR, experiments that verify a design also write
    their evaluator counters (plus any hand-timed phases) to
-   DIR/BENCH_<id>.json in the scald-metrics/1 shape, so runs can be
+   DIR/BENCH_<id>.json in the scald-metrics/2 shape, so runs can be
    compared column-by-column across commits. *)
 let metrics_dir : string option ref = ref None
 
@@ -967,6 +967,115 @@ let flow_prune () =
     (if reduction >= budget then "PASS" else "FAIL");
   if (not agree) || (not det) || reduction < budget then exit 1
 
+(* ---- incremental re-verify ---------------------------------------------------------------------------- *)
+
+(* The incremental service (doc/SERVICE.md) answers a 1-net delay edit
+   by re-verifying only the edit's forward cone with everything outside
+   frozen.  On the S-1-scale generated design the cone of a typical
+   internal net is a few dozen nets out of thousands, so the re-verify
+   must be at least 10x cheaper than the cold run in BOTH evaluations
+   and wall-clock — while producing the identical error listing. *)
+let incr_reverify () =
+  section "INCREMENTAL RE-VERIFY: 1-net delay edit vs cold run, S-1-scale design";
+  let module Session = Scald_incr.Session in
+  let module Edit = Scald_incr.Edit in
+  let fresh () =
+    (Netgen.to_netlist (Netgen.generate Netgen.default_config))
+      .Scald_sdl.Expander.e_netlist
+  in
+  let nl = fresh () in
+  (* pick, deterministically, the sampled driven net with the smallest
+     forward cone — the shape of a real designer edit: local rework,
+     not a clock-tree change *)
+  let cone_size nl seed =
+    let inst_seen = Array.make (max 1 (Netlist.n_insts nl)) false in
+    let net_seen = Array.make (max 1 (Netlist.n_nets nl)) false in
+    let q = Queue.create () in
+    let add id =
+      if not inst_seen.(id) then begin
+        inst_seen.(id) <- true;
+        Queue.add id q
+      end
+    in
+    net_seen.(seed) <- true;
+    List.iter add (Netlist.net nl seed).Netlist.n_fanout;
+    while not (Queue.is_empty q) do
+      match (Netlist.inst nl (Queue.take q)).Netlist.i_output with
+      | None -> ()
+      | Some o ->
+        if not net_seen.(o) then begin
+          net_seen.(o) <- true;
+          List.iter add (Netlist.net nl o).Netlist.n_fanout
+        end
+    done;
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 net_seen
+  in
+  let candidates =
+    let all = ref [] in
+    Netlist.iter_nets nl (fun n ->
+        if n.Netlist.n_driver <> None && n.Netlist.n_fanout <> [] then
+          all := n.Netlist.n_id :: !all);
+    let all = Array.of_list (List.rev !all) in
+    let step = max 1 (Array.length all / 64) in
+    List.init (Array.length all / step) (fun i -> all.(i * step))
+  in
+  let victim =
+    List.fold_left
+      (fun best id ->
+        let sz = cone_size nl id in
+        match best with
+        | Some (_, best_sz) when best_sz <= sz -> best
+        | _ -> Some (id, sz))
+      None candidates
+    |> Option.get |> fst
+  in
+  let signal = (Netlist.net nl victim).Netlist.n_name in
+  let edit = Edit.Wire_delay { signal; delay = Some (Delay.of_ns 0.3 2.7) } in
+  Printf.printf "  workload: %d primitives, %d nets; edit: %s\n"
+    (Netlist.n_insts nl) (Netlist.n_nets nl)
+    (Format.asprintf "%a" Edit.pp edit);
+  (* cold baseline: a fresh build with the same edit applied up front *)
+  let cold_nl = fresh () in
+  ignore (Edit.apply cold_nl edit);
+  let r_cold, t_cold = wall_timed (fun () -> Verifier.verify ~jobs:1 cold_nl) in
+  (* incremental: load once (not timed — it IS a cold verify), then
+     stage the edit and time only the re-verify *)
+  let s = Session.load nl in
+  Session.stage s edit;
+  let (r_incr, st), t_incr = wall_timed (fun () -> Session.reverify s) in
+  let ev_cold = r_cold.Verifier.r_evaluations in
+  let ev_incr = st.Session.st_evaluations in
+  let ev_x = float_of_int ev_cold /. float_of_int (max 1 ev_incr) in
+  let wall_x = t_cold /. (t_incr +. epsilon_float) in
+  Printf.printf "  %-44s %12d %10.4f s\n" "cold verify: evaluations, wall" ev_cold t_cold;
+  Printf.printf "  %-44s %12d %10.4f s\n" "incremental re-verify: evaluations, wall"
+    ev_incr t_incr;
+  Printf.printf "  %-44s %12d of %d (%d reused)\n" "nets dirtied"
+    st.Session.st_dirtied_nets (Netlist.n_nets nl) st.Session.st_reused_nets;
+  Printf.printf "  %-44s %12d\n" "violation-cache verdicts reused"
+    st.Session.st_warm_hits;
+  Printf.printf "  %-44s %11.1fx\n" "evaluation reduction" ev_x;
+  Printf.printf "  %-44s %11.1fx\n" "wall-clock reduction" wall_x;
+  let agree = verdicts_equal r_cold r_incr in
+  let listing r =
+    Format.asprintf "@.%a@." Report.pp_violations r.Verifier.r_violations
+  in
+  let bytes_equal = listing r_cold = listing r_incr in
+  Printf.printf "  verdicts identical to the cold run: %s\n"
+    (if agree then "PASS" else "FAIL");
+  Printf.printf "  listing byte-identical to the cold run: %s\n"
+    (if bytes_equal then "PASS" else "FAIL");
+  emit_bench_metrics "incr-reverify"
+    ~phases:[ ("verify_cold", t_cold); ("reverify_incr", t_incr) ]
+    r_incr;
+  let budget = 10.0 in
+  Printf.printf "\n  evaluation speedup >= %.0fx: %s\n" budget
+    (if ev_x >= budget then "PASS" else "FAIL");
+  Printf.printf "  wall-clock speedup >= %.0fx: %s\n" budget
+    (if wall_x >= budget then "PASS" else "FAIL");
+  if (not agree) || (not bytes_equal) || ev_x < budget || wall_x < budget then
+    exit 1
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -1083,6 +1192,7 @@ let experiments =
     ("par-speedup", par_speedup);
     ("sched-speedup", sched_speedup);
     ("flow-prune", flow_prune);
+    ("incr-reverify", incr_reverify);
   ]
 
 let () =

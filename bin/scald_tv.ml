@@ -150,7 +150,9 @@ let run file case_file jobs sched summary xref quiet paths corr_advice prob slac
       | None -> ()
       | Some path ->
         Scald_obs.Obs.write_metrics o ~report path;
-        if not quiet then Format.printf "wrote run metrics to %s@." path);
+        if not quiet then
+          Format.printf "wrote run metrics to %s (%s)@." path
+            Scald_obs.Counters.schema_version);
       (match profile_out with
       | None -> ()
       | Some path ->
@@ -316,6 +318,47 @@ let classes =
   in
   Arg.(value & flag & info [ "classes" ] ~doc)
 
+let verify_term =
+  Term.(
+    const run $ file $ case_file $ jobs $ sched $ summary $ xref $ quiet $ paths
+    $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
+    $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer
+    $ no_prune $ classes)
+
+let verify_cmd =
+  let doc = "verify one design and print the error listing (the default command)" in
+  Cmd.v (Cmd.info "verify" ~doc) verify_term
+
+let serve_metrics =
+  let doc =
+    "On shutdown, write the final run metrics (scald-metrics/2, with the \
+     $(b,incr_*) service counters) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let serve_run metrics = Scald_incr.Serve.run ?metrics stdin stdout
+
+let serve_cmd =
+  let doc = "run the persistent incremental verification service" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one JSON request per line on standard input and writes one JSON \
+         response per line on standard output (doc/SERVICE.md).  Requests are \
+         dispatched on their \"op\" field: $(b,load) a design into a \
+         content-addressed session, stage $(b,delta) edits against it, \
+         $(b,verify) by re-evaluating only the dirty cone of the staged edits, \
+         query $(b,stats), and $(b,shutdown).";
+      `S Manpage.s_examples;
+      `P
+        "printf '%s\\n%s\\n' \
+         '{\"op\":\"load\",\"file\":\"examples/register_file.sdl\"}' \
+         '{\"op\":\"shutdown\"}' | $(tname)";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const serve_run $ serve_metrics)
+
 let cmd =
   let doc = "verify the timing constraints of a synchronous digital design" in
   let man =
@@ -327,16 +370,27 @@ let cmd =
          a seven-value symbolic timing simulation of one clock period that checks \
          set-up, hold, minimum-pulse-width and clock-gating constraints against \
          min/max component delays, interconnect delays and clock skew.";
+      `P
+        "With no command, behaves as $(tname) $(b,verify).  The $(b,serve) \
+         command instead starts the persistent incremental verification \
+         service (doc/SERVICE.md).";
       `S Manpage.s_examples;
       `P "$(tname) examples/register_file.sdl --summary";
     ]
   in
-  Cmd.v
-    (Cmd.info "scald_tv" ~version:"1.0.0" ~doc ~man)
-    Term.(
-      const run $ file $ case_file $ jobs $ sched $ summary $ xref $ quiet $ paths
-      $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
-      $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer
-      $ no_prune $ classes)
+  Cmd.group ~default:verify_term
+    (Cmd.info "scald_tv" ~version:Scald_core.Version.version ~doc ~man)
+    [ verify_cmd; serve_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* Backward compatibility: [scald_tv design.sdl ...] predates the
+   command group and must keep working.  When the first argument names
+   neither a command nor a group-level option, route it to [verify]. *)
+let argv =
+  let argv = Sys.argv in
+  if
+    Array.length argv > 1
+    && not (List.mem argv.(1) [ "serve"; "verify"; "--help"; "--version" ])
+  then Array.concat [ [| argv.(0); "verify" |]; Array.sub argv 1 (Array.length argv - 1) ]
+  else argv
+
+let () = exit (Cmd.eval' ~argv cmd)

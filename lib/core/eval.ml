@@ -205,6 +205,67 @@ let counters t =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
   }
 
+let zero_counters =
+  {
+    c_events = 0;
+    c_evaluations = 0;
+    c_queued = 0;
+    c_coalesced = 0;
+    c_queue_hwm = 0;
+    c_sched_levels = 0;
+    c_sccs = 0;
+    c_max_scc_size = 0;
+    c_cache_hits = 0;
+    c_cache_misses = 0;
+    c_pruned_insts = 0;
+    c_pruned_evals = 0;
+    c_nets_const = 0;
+    c_nets_stable = 0;
+    c_nets_clock = 0;
+    c_nets_data = 0;
+    c_nets_unknown = 0;
+    c_evals_by_kind = [];
+  }
+
+(* Sum two per-kind evaluation-count alists, keeping the alphabetical
+   order [counters] guarantees. *)
+let merge_by_kind a b =
+  let rec go a b =
+    match a, b with
+    | [], rest | rest, [] -> rest
+    | (ka, va) :: ra, (kb, vb) :: rb ->
+      let c = String.compare ka kb in
+      if c = 0 then (ka, va + vb) :: go ra rb
+      else if c < 0 then (ka, va) :: go ra b
+      else (kb, vb) :: go a rb
+  in
+  go a b
+
+(* Accumulators sum; the high-water mark, the schedule shape and the
+   pruning shape (identical across runs of one structure, or
+   incomparable across structures) take the max. *)
+let merge_counters a b =
+  {
+    c_events = a.c_events + b.c_events;
+    c_evaluations = a.c_evaluations + b.c_evaluations;
+    c_queued = a.c_queued + b.c_queued;
+    c_coalesced = a.c_coalesced + b.c_coalesced;
+    c_queue_hwm = max a.c_queue_hwm b.c_queue_hwm;
+    c_sched_levels = max a.c_sched_levels b.c_sched_levels;
+    c_sccs = max a.c_sccs b.c_sccs;
+    c_max_scc_size = max a.c_max_scc_size b.c_max_scc_size;
+    c_cache_hits = a.c_cache_hits + b.c_cache_hits;
+    c_cache_misses = a.c_cache_misses + b.c_cache_misses;
+    c_pruned_insts = max a.c_pruned_insts b.c_pruned_insts;
+    c_pruned_evals = a.c_pruned_evals + b.c_pruned_evals;
+    c_nets_const = max a.c_nets_const b.c_nets_const;
+    c_nets_stable = max a.c_nets_stable b.c_nets_stable;
+    c_nets_clock = max a.c_nets_clock b.c_nets_clock;
+    c_nets_data = max a.c_nets_data b.c_nets_data;
+    c_nets_unknown = max a.c_nets_unknown b.c_nets_unknown;
+    c_evals_by_kind = merge_by_kind a.c_evals_by_kind b.c_evals_by_kind;
+  }
+
 let set_event_hook t h = t.on_event <- h
 let event_hook t = t.on_event
 
@@ -740,6 +801,44 @@ let run ?(case = []) t =
 
 let value t id = (Netlist.net t.nl id).n_value
 
+(* ---- incremental-service hooks (lib/incr, doc/SERVICE.md) ---------------- *)
+
+(* External generation injection: a service that edits a net's
+   parameters (wire delay, a consumer's connection directive) bumps the
+   stamp so every generation-keyed consumer cache misses, then wakes the
+   fanout.  The waveform itself is untouched — only its interpretation
+   changed. *)
+let touch_net t net_id =
+  let n = Netlist.net t.nl net_id in
+  n.n_gen <- n.n_gen + 1;
+  enqueue_fanout t net_id
+
+(* An assertion edit changes the net's source waveform: undriven nets
+   are re-initialized in place (mirroring the §2.7 case-change path in
+   [run]); driven nets re-evaluate their driver so the new assertion is
+   checked against a fresh value. *)
+let reassert_net t net_id =
+  let n = Netlist.net t.nl net_id in
+  (match n.n_driver with
+  | None -> assign n (initial_value t n) n.n_eval_str
+  | Some d ->
+    n.n_gen <- n.n_gen + 1;
+    enqueue t d);
+  enqueue_fanout t net_id
+
+(* Replace the frozen set wholesale: [active id] instances stay live,
+   everything else is skipped at enqueue time.  The incremental service
+   thaws exactly the dirty cone of an edit and freezes the rest —
+   instances outside the cone already hold their fixpoint waveforms, so
+   freezing them is the cross-run analogue of Flow pruning. *)
+let refreeze t ~active =
+  for id = 0 to Netlist.n_insts t.nl - 1 do
+    t.frozen.(id) <- not (active id)
+  done;
+  t.froze <- true
+
+let enqueue_inst t inst_id = enqueue t inst_id
+
 (* ---- checking ------------------------------------------------------------ *)
 
 let net_name t id = (Netlist.net t.nl id).n_name
@@ -789,19 +888,18 @@ let check_inst t (inst : Netlist.inst) =
   | Primitive.Const _ ->
     []
 
-let check t =
-  let acc = ref [] in
-  Netlist.iter_insts t.nl (fun inst -> acc := check_inst t inst :: !acc);
-  Netlist.iter_nets t.nl (fun n ->
-      match n.n_assertion, n.n_driver with
-      | Some a, Some _ ->
-        acc :=
-          Check.check_stable_assertion ~signal:n.n_name ~tb:(Netlist.timebase t.nl) a
-            n.n_value
-          :: !acc
-      | (None | Some _), _ -> ());
-  let base = List.concat (List.rev !acc) in
-  if t.converged then base
+let check_one t inst_id = check_inst t (Netlist.inst t.nl inst_id)
+
+let check_net t net_id =
+  let n = Netlist.net t.nl net_id in
+  match n.n_assertion, n.n_driver with
+  | Some a, Some _ ->
+    Check.check_stable_assertion ~signal:n.n_name ~tb:(Netlist.timebase t.nl) a
+      n.n_value
+  | (None | Some _), _ -> []
+
+let divergence t =
+  if t.converged then []
   else
     let detail =
       match t.diverged_slot, t.sched with
@@ -810,14 +908,22 @@ let check t =
           (Sched.cyclic_region s slot t.nl)
       | _ -> "evaluation bound exceeded; the circuit may contain unbroken feedback"
     in
-    {
-      Check.v_kind = Check.No_convergence;
-      v_inst = "EVALUATOR";
-      v_signal = "";
-      v_clock = None;
-      v_required = 0;
-      v_actual = None;
-      v_at = None;
-      v_detail = detail;
-    }
-    :: base
+    [
+      {
+        Check.v_kind = Check.No_convergence;
+        v_inst = "EVALUATOR";
+        v_signal = "";
+        v_clock = None;
+        v_required = 0;
+        v_actual = None;
+        v_at = None;
+        v_detail = detail;
+      };
+    ]
+
+let check t =
+  let acc = ref [] in
+  Netlist.iter_insts t.nl (fun inst -> acc := check_inst t inst :: !acc);
+  Netlist.iter_nets t.nl (fun n -> acc := check_net t n.n_id :: !acc);
+  let base = List.concat (List.rev !acc) in
+  divergence t @ base

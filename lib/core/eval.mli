@@ -63,8 +63,55 @@ val check : t -> Check.t list
     bound.  In {!Level} mode the report names the feedback region whose
     relaxation budget was exceeded. *)
 
+val check_one : t -> int -> Check.t list
+(** The checks of a single instance (by id): checker primitives report
+    their margins, gates their [&A]/[&H] hazard scans, everything else
+    reports nothing.  [check] is the concatenation of [check_one] over
+    all instances (in id order) followed by {!check_net} over all nets
+    (in id order), with {!divergence} in front — exposed so an
+    incremental service can cache per-instance verdicts keyed on input
+    generation stamps and still reproduce a cold run's list exactly. *)
+
+val check_net : t -> int -> Check.t list
+(** The stable-assertion check of a single net (by id); empty unless the
+    net is both asserted and driven. *)
+
+val divergence : t -> Check.t list
+(** The {!Check.No_convergence} report of the most recent {!run}, or
+    [[]] if it converged. *)
+
 val value : t -> int -> Waveform.t
 (** Current waveform of a net. *)
+
+(** {2 Incremental-service hooks}
+
+    Used by [lib/incr] (doc/SERVICE.md) to replay a netlist edit on a
+    persistent evaluator.  All three leave waveforms outside the touched
+    cone untouched, so generation-keyed caches keep their value. *)
+
+val touch_net : t -> int -> unit
+(** Bump the net's generation stamp and wake its fanout.  Called after
+    an edit that changes how the (unchanged) waveform is interpreted —
+    a wire-delay or input-directive change — so every consumer's
+    memoized input waveform misses and is rebuilt. *)
+
+val reassert_net : t -> int -> unit
+(** Recompute a net after its assertion changed: an undriven net is
+    re-initialized from the new assertion in place (the §2.7 case-change
+    path), a driven net has its driver re-enqueued; either way the
+    fanout is woken. *)
+
+val refreeze : t -> active:(int -> bool) -> unit
+(** Replace the frozen set wholesale: instance [id] stays live iff
+    [active id].  The incremental service thaws exactly the dirty cone
+    of an edit and freezes everything else — instances outside the cone
+    already hold their fixpoint waveforms from the previous run. *)
+
+val enqueue_inst : t -> int -> unit
+(** Put one instance on the work list for the next {!run} (a no-op if
+    frozen or already queued).  Used to re-evaluate an instance whose
+    own parameters — element delay, checker margins — changed without
+    any input net changing. *)
 
 val input_waveform : t -> Netlist.inst -> int -> Waveform.t
 (** The waveform a primitive instance actually sees on input [i]: the
@@ -133,6 +180,16 @@ val counters : t -> counters
     ([c_pruned_insts], [c_nets_*]) are properties of the netlist and its
     analysis, not accumulators — {!reset_counters} leaves them
     readable. *)
+
+val zero_counters : counters
+(** All-zero counters: the identity of {!merge_counters}. *)
+
+val merge_counters : counters -> counters -> counters
+(** Combine two snapshots: accumulators sum; the queue high-water mark,
+    the schedule-shape and the pruning-shape fields take the max (they
+    are identical across runs of one structure).  Used both to merge
+    parallel shards ({!Verifier.verify} with [~jobs]) and to carry
+    cumulative totals across the requests of an incremental session. *)
 
 val set_event_hook : t -> (inst_id:int -> net_id:int -> unit) option -> unit
 (** Install (or clear) a hook called once per event, {e after} the

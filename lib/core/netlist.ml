@@ -180,6 +180,55 @@ let copy t =
 let net t id = t.nets.(id)
 let inst t id = t.insts.(id)
 let find t name = Hashtbl.find_opt t.by_name name
+
+let find_inst t name =
+  let rec scan i =
+    if i >= t.n_insts then None
+    else if String.equal t.insts.(i).i_name name then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* ---- post-construction edits (lib/incr, doc/SERVICE.md) ------------------ *)
+
+let set_wire_delay_opt t id d = t.nets.(id).n_wire_delay <- d
+let set_assertion t id a = t.nets.(id).n_assertion <- a
+
+let replace_prim t id prim =
+  let i = t.insts.(id) in
+  if Primitive.n_inputs prim <> Array.length i.i_inputs then
+    invalid_arg
+      (Printf.sprintf "Netlist.replace_prim: %s takes %d inputs, %s has %d" i.i_name
+         (Primitive.n_inputs prim) (Primitive.mnemonic prim) (Array.length i.i_inputs));
+  if Primitive.has_output prim <> (i.i_output <> None) then
+    invalid_arg
+      (Printf.sprintf "Netlist.replace_prim: %s and %s disagree on having an output"
+         i.i_name (Primitive.mnemonic prim));
+  t.insts.(id) <- { i with i_prim = prim }
+
+let set_element_delay t id d =
+  let i = t.insts.(id) in
+  let prim =
+    match i.i_prim with
+    | Primitive.Gate g -> Primitive.Gate { g with delay = d }
+    | Primitive.Buf b -> Primitive.Buf { b with delay = d }
+    | Primitive.Mux2 m -> Primitive.Mux2 { m with delay = d }
+    | Primitive.Reg r -> Primitive.Reg { r with delay = d }
+    | Primitive.Latch l -> Primitive.Latch { l with delay = d }
+    | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _
+    | Primitive.Min_pulse_width _ | Primitive.Const _ ->
+      invalid_arg
+        (Printf.sprintf "Netlist.set_element_delay: %s has no element delay" i.i_name)
+  in
+  t.insts.(id) <- { i with i_prim = prim }
+
+let set_input_directive t ~inst:id ~input d =
+  let i = t.insts.(id) in
+  if input < 0 || input >= Array.length i.i_inputs then
+    invalid_arg
+      (Printf.sprintf "Netlist.set_input_directive: %s has no input %d" i.i_name input);
+  let c = i.i_inputs.(input) in
+  i.i_inputs.(input) <- { c with c_directive = d }
 let nets t = Array.sub t.nets 0 t.n_nets
 let insts t = Array.sub t.insts 0 t.n_insts
 let n_nets t = t.n_nets

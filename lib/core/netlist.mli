@@ -97,6 +97,44 @@ val inst : t -> int -> inst
 val find : t -> string -> int option
 (** Look up a net by base name. *)
 
+val find_inst : t -> string -> int option
+(** Look up an instance by name (linear scan; first registered wins). *)
+
+(** {2 Post-construction edits}
+
+    Used by the incremental service ([lib/incr], doc/SERVICE.md) to
+    replay a designer's edit on an already-built netlist.  The structure
+    — which nets exist, which instances read and drive them — never
+    changes; only parameters do.  Note that {!copy} shares the instance
+    array and the connection arrays with the original, so instance-level
+    edits ({!set_element_delay}, {!replace_prim},
+    {!set_input_directive}) are visible through existing copies; the
+    incremental service is strictly sequential, so no copy is ever live
+    while it edits. *)
+
+val set_wire_delay_opt : t -> int -> Delay.t option -> unit
+(** Set or clear ([None] restores the default rule) a net's
+    interconnection-delay override. *)
+
+val set_assertion : t -> int -> Assertion.t option -> unit
+(** Set, replace or remove a net's timing assertion. *)
+
+val set_element_delay : t -> int -> Delay.t -> unit
+(** Replace the element delay of a gate, buffer, multiplexer, register
+    or latch.
+    @raise Invalid_argument for checkers and constants. *)
+
+val replace_prim : t -> int -> Primitive.t -> unit
+(** Replace an instance's primitive wholesale (e.g. new checker
+    margins), keeping its connections.
+    @raise Invalid_argument if the input count or the presence of an
+    output differs. *)
+
+val set_input_directive : t -> inst:int -> input:int -> Directive.t -> unit
+(** Replace the explicit ["&..."] evaluation string on one input
+    connection ([[]] removes it).
+    @raise Invalid_argument if the instance has no such input. *)
+
 val nets : t -> net array
 (** A {e fresh copy} of the net array, O(n) per call — fine for one-shot
     listings, wrong inside loops; iterate with {!iter_nets} instead. *)

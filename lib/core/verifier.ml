@@ -84,20 +84,6 @@ let obs_of_counters (c : Eval.counters) =
     os_evals_by_kind = c.Eval.c_evals_by_kind;
   }
 
-(* Sum two per-kind evaluation-count alists, keeping the alphabetical
-   order Eval.counters guarantees. *)
-let merge_by_kind a b =
-  let rec go a b =
-    match a, b with
-    | [], rest | rest, [] -> rest
-    | (ka, va) :: ra, (kb, vb) :: rb ->
-      let c = String.compare ka kb in
-      if c = 0 then (ka, va + vb) :: go ra rb
-      else if c < 0 then (ka, va) :: go ra b
-      else (kb, vb) :: go a rb
-  in
-  go a b
-
 (* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
 
 let verify_sequential ~sched ~probe ~analysis ~case_list nl =
@@ -231,51 +217,10 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   in
   let counters =
     (* per-domain counter structs merged at join; no shared hot-path
-       state.  Flow counters sum; the high-water mark and the schedule
-       shape (identical in every shard) take the max. *)
+       state (merge semantics in Eval.merge_counters). *)
     Array.fold_left
-      (fun acc (_, (c : Eval.counters), _) ->
-        {
-          Eval.c_events = acc.Eval.c_events + c.Eval.c_events;
-          c_evaluations = acc.Eval.c_evaluations + c.Eval.c_evaluations;
-          c_queued = acc.Eval.c_queued + c.Eval.c_queued;
-          c_coalesced = acc.Eval.c_coalesced + c.Eval.c_coalesced;
-          c_queue_hwm = max acc.Eval.c_queue_hwm c.Eval.c_queue_hwm;
-          c_sched_levels = max acc.Eval.c_sched_levels c.Eval.c_sched_levels;
-          c_sccs = max acc.Eval.c_sccs c.Eval.c_sccs;
-          c_max_scc_size = max acc.Eval.c_max_scc_size c.Eval.c_max_scc_size;
-          c_cache_hits = acc.Eval.c_cache_hits + c.Eval.c_cache_hits;
-          c_cache_misses = acc.Eval.c_cache_misses + c.Eval.c_cache_misses;
-          c_pruned_insts = max acc.Eval.c_pruned_insts c.Eval.c_pruned_insts;
-          c_pruned_evals = acc.Eval.c_pruned_evals + c.Eval.c_pruned_evals;
-          c_nets_const = max acc.Eval.c_nets_const c.Eval.c_nets_const;
-          c_nets_stable = max acc.Eval.c_nets_stable c.Eval.c_nets_stable;
-          c_nets_clock = max acc.Eval.c_nets_clock c.Eval.c_nets_clock;
-          c_nets_data = max acc.Eval.c_nets_data c.Eval.c_nets_data;
-          c_nets_unknown = max acc.Eval.c_nets_unknown c.Eval.c_nets_unknown;
-          c_evals_by_kind = merge_by_kind acc.Eval.c_evals_by_kind c.Eval.c_evals_by_kind;
-        })
-      {
-        Eval.c_events = 0;
-        c_evaluations = 0;
-        c_queued = 0;
-        c_coalesced = 0;
-        c_queue_hwm = 0;
-        c_sched_levels = 0;
-        c_sccs = 0;
-        c_max_scc_size = 0;
-        c_cache_hits = 0;
-        c_cache_misses = 0;
-        c_pruned_insts = 0;
-        c_pruned_evals = 0;
-        c_nets_const = 0;
-        c_nets_stable = 0;
-        c_nets_clock = 0;
-        c_nets_data = 0;
-        c_nets_unknown = 0;
-        c_evals_by_kind = [];
-      }
-      shard_results
+      (fun acc (_, c, _) -> Eval.merge_counters acc c)
+      Eval.zero_counters shard_results
   in
   (* The last shard ends having evaluated the final case, so its
      evaluator holds the same fixpoint state as the sequential run's. *)
@@ -283,7 +228,7 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   (results, counters, last_ev)
 
 let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
-    ?(prune = true) nl =
+    ?(prune = true) ?analysis nl =
   if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
@@ -300,13 +245,17 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
   let analysis =
     if not prune then None
     else
-      let case_nets =
-        List.concat_map
-          (fun c -> List.map fst (Case_analysis.resolve nl c))
-          case_list
-      in
-      let schedule = Sched.compute nl in
-      Some (schedule, span "flow" (fun () -> Flow.analyse ~sched:schedule ~case_nets nl))
+      match analysis with
+      | Some _ -> analysis
+      | None ->
+        let case_nets =
+          List.concat_map
+            (fun c -> List.map fst (Case_analysis.resolve nl c))
+            case_list
+        in
+        let schedule = Sched.compute nl in
+        Some
+          (schedule, span "flow" (fun () -> Flow.analyse ~sched:schedule ~case_nets nl))
   in
   let jobs = if jobs = 0 then Par.available () else jobs in
   let jobs = max 1 (min jobs (List.length case_list)) in

@@ -100,6 +100,7 @@ val verify :
   ?jobs:int ->
   ?sched:Eval.mode ->
   ?prune:bool ->
+  ?analysis:Sched.t * Flow.t ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
@@ -137,6 +138,11 @@ val verify :
     bit-identical to [~prune:false]; only the work counters differ
     (fewer evaluations and enqueues, [os_pruned_insts] /
     [os_pruned_evals] non-zero).  CLI: [--no-prune].
+
+    [analysis] supplies a precomputed schedule and flow analysis (they
+    must describe this netlist's structure and cover this run's case
+    nets); used by the incremental service, which computes them once per
+    session.  Ignored under [~prune:false].
     @raise Invalid_argument when [jobs < 0]. *)
 
 val clean : report -> bool
@@ -146,6 +152,11 @@ val dedup_violations : Check.t list -> Check.t list
 (** Remove exact duplicates (all fields equal), keeping first
     occurrences in order.  Violations that differ in any field — clock,
     measured margin, detail — are distinct findings and all survive. *)
+
+val obs_of_counters : Eval.counters -> obs_summary
+(** Project evaluator counters into the report's observability summary.
+    Exposed so the incremental service ([lib/incr]) can build reports
+    with the same shape as {!verify}'s. *)
 
 val violations_of_kind : Check.kind -> report -> Check.t list
 

@@ -1,0 +1,2 @@
+let version = "1.1.0"
+let protocol = "scald-serve/1"

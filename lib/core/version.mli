@@ -1,0 +1,9 @@
+(** Version strings clients negotiate against (doc/SERVICE.md).
+
+    [version] is the tool version reported by [scald_tv --version] and
+    the serve-mode hello banner; [protocol] names the JSONL
+    request/response dialect of [scald_tv serve].  The metrics-schema
+    version lives with its emitter ([Scald_obs.Counters.schema_version]). *)
+
+val version : string
+val protocol : string

@@ -1,0 +1,43 @@
+(** Content addressing for the session store (doc/SERVICE.md).
+
+    Three views of a netlist's identity, all computed from a canonical
+    walk of its structure and parameters:
+
+    - {!digest}: structure {e and} every parameter.  Equal digests mean
+      a cold verify would produce the very same report, so a session
+      holding this digest can be reused outright.
+    - {!skeleton}: structure only — names, widths, connectivity,
+      primitive shape.  Equal skeletons mean the two designs differ only
+      in parameters, every one of which is expressible as an
+      {!Edit.t} — an existing session can be {e adopted} by replaying
+      the parameter diff ({!Edit.diff}) instead of reloading cold.
+    - {!cones}: one 64-bit fingerprint per net over its input cone,
+      computed over the {!Scald_core.Sched} condensation (feedback
+      components are hashed with a two-pass component-seed scheme so the
+      walk terminates).  A net whose cone fingerprint is unchanged
+      between two parameterizations provably carries the same waveform;
+      the service reports reuse in these terms ([reused_nets] /
+      [dirtied_nets]).  Fingerprints are diagnostic — the dirty-cone
+      computation that decides what to re-evaluate is structural, so a
+      hash collision can never produce a wrong verdict. *)
+
+open Scald_core
+
+val digest : Netlist.t -> string
+(** Hex digest of structure plus all parameters. *)
+
+val skeleton : Netlist.t -> string
+(** Hex digest of structure only. *)
+
+val cones :
+  ?sched:Sched.t -> ?prev:int64 array -> ?dirty:(int -> bool) -> Netlist.t -> int64 array
+(** Per-net input-cone fingerprints, indexed by net id.  [sched] reuses
+    a precomputed condensation.  [prev] and [dirty] together select the
+    incremental mode: hashes are recomputed only for nets satisfying
+    [dirty], everything else is copied from [prev].  Correct only when
+    [dirty] is closed under forward reachability from every net or
+    instance whose parameters changed since [prev] was computed — which
+    is exactly the dirty cone [Session.reverify] already has in hand. *)
+
+val diff_count : int64 array -> int64 array -> int
+(** Number of positions where two fingerprint arrays disagree. *)

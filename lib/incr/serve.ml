@@ -1,0 +1,318 @@
+open Scald_core
+
+type t = {
+  sv_store : Store.t;
+  sv_obs : Scald_obs.Obs.t;
+  mutable sv_requests : int;
+  mutable sv_errors : int;
+  mutable sv_reused_nets : int;
+  mutable sv_dirtied_nets : int;
+  mutable sv_warm_hits : int;
+  mutable sv_last_report : Verifier.report option;
+}
+
+let create ?obs () =
+  {
+    sv_store = Store.create ();
+    sv_obs = (match obs with Some o -> o | None -> Scald_obs.Obs.create ());
+    sv_requests = 0;
+    sv_errors = 0;
+    sv_reused_nets = 0;
+    sv_dirtied_nets = 0;
+    sv_warm_hits = 0;
+    sv_last_report = None;
+  }
+
+let store t = t.sv_store
+
+let hello () =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str "hello");
+      ("service", Json.Str "scald_tv serve");
+      ("version", Json.Str Version.version);
+      ("protocol", Json.Str Version.protocol);
+      ("metrics_schema", Json.Str Scald_obs.Counters.schema_version);
+    ]
+
+let error ?op msg =
+  Json.Obj
+    ((match op with Some o -> [ ("op", Json.Str o) ] | None -> [])
+    @ [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+
+let ok op fields = Json.Obj (("ok", Json.Bool true) :: ("op", Json.Str op) :: fields)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- request decoding ----------------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let opt_str j key = Option.bind (Json.member key j) Json.str
+
+let target_session t j =
+  match opt_str j "session" with
+  | Some handle -> (
+    match Store.find t.sv_store handle with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "no session %s" handle))
+  | None -> (
+    match Store.latest t.sv_store with
+    | Some s -> Ok s
+    | None -> Error "no session loaded")
+
+let sched_of j =
+  match opt_str j "sched" with
+  | None | Some "level" -> Ok Eval.Level
+  | Some "fifo" -> Ok Eval.Fifo
+  | Some s -> Error (Printf.sprintf "unknown sched %S (expected \"level\" or \"fifo\")" s)
+
+let cases_of j =
+  match Json.member "cases" j, opt_str j "cases_file" with
+  | Some (Json.Str text), None -> Case_analysis.parse text
+  | None, Some path -> (
+    match read_file path with
+    | text -> Case_analysis.parse text
+    | exception Sys_error m -> Error m)
+  | None, None -> Ok []
+  | Some _, None -> Error "\"cases\" must be a string of case-file text"
+  | Some _, Some _ -> Error "give either \"cases\" or \"cases_file\", not both"
+
+let source_of j =
+  match opt_str j "source", opt_str j "file" with
+  | Some src, None -> Ok src
+  | None, Some path -> (
+    match read_file path with
+    | src -> Ok src
+    | exception Sys_error m -> Error m)
+  | None, None -> Error "load needs \"file\" (a path) or \"source\" (inline SCALD HDL)"
+  | Some _, Some _ -> Error "give either \"file\" or \"source\", not both"
+
+(* ---- operations ----------------------------------------------------------- *)
+
+let session_fields s =
+  [
+    ("session", Json.Str (Session.id s));
+    ("digest", Json.Str (Session.digest s));
+  ]
+
+let do_load t j =
+  let* src = source_of j in
+  let* cases = cases_of j in
+  let* mode = sched_of j in
+  let* ast = Scald_sdl.Parser.parse src in
+  let* { Scald_sdl.Expander.e_netlist = nl; _ } = Scald_sdl.Expander.expand ast in
+  let outcome = Store.load t.sv_store ~mode ~cases nl in
+  let s, mode_str, staged =
+    match outcome with
+    | Store.Cold s -> (s, "cold", 0)
+    | Store.Warm s -> (s, "warm", 0)
+    | Store.Adopted (s, n) -> (s, "adopted", n)
+  in
+  Ok
+    (ok "load"
+       (session_fields s
+       @ [
+           ("mode", Json.Str mode_str);
+           ("staged", Json.of_int staged);
+           ("nets", Json.of_int (Netlist.n_nets (Session.netlist s)));
+           ("insts", Json.of_int (Netlist.n_insts (Session.netlist s)));
+         ]))
+
+let do_delta t j =
+  let* s = target_session t j in
+  let* edits =
+    match Option.bind (Json.member "edits" j) Json.list with
+    | None -> Error "delta needs an \"edits\" array"
+    | Some js ->
+      List.fold_left
+        (fun acc ej ->
+          let* acc = acc in
+          let* e = Edit.of_json ej in
+          let* () = Edit.check (Session.netlist s) e in
+          Ok (e :: acc))
+        (Ok []) js
+  in
+  let edits = List.rev edits in
+  List.iter (Session.stage s) edits;
+  Ok (ok "delta" (session_fields s @ [ ("staged", Json.of_int (Session.pending s)) ]))
+
+let stats_fields (st : Session.stats) =
+  [
+    ("reused_nets", Json.of_int st.Session.st_reused_nets);
+    ("dirtied_nets", Json.of_int st.Session.st_dirtied_nets);
+    ("warm_hits", Json.of_int st.Session.st_warm_hits);
+    ("events", Json.of_int st.Session.st_events);
+    ("evaluations", Json.of_int st.Session.st_evaluations);
+  ]
+
+let report_fields (r : Verifier.report) =
+  [
+    ("violations", Json.of_int (List.length r.Verifier.r_violations));
+    ("converged", Json.Bool r.Verifier.r_converged);
+    ("cases", Json.of_int (List.length r.Verifier.r_cases));
+    ("unasserted", Json.of_int (List.length r.Verifier.r_unasserted));
+  ]
+
+let do_verify t j =
+  let* s = target_session t j in
+  let carry =
+    match Option.bind (Json.member "carry_counters" j) Json.bool with
+    | Some b -> b
+    | None -> true
+  in
+  let report, st, fresh =
+    if Session.pending s = 0 then
+      (* nothing staged: the session's report already answers this
+         request — full reuse, no work *)
+      ( Session.report s,
+        {
+          Session.st_requests = (Session.stats s).Session.st_requests;
+          st_reused_nets = Netlist.n_nets (Session.netlist s);
+          st_dirtied_nets = 0;
+          st_warm_hits = 0;
+          st_fp_changed = 0;
+          st_events = 0;
+          st_evaluations = 0;
+        },
+        false )
+    else
+      let report, st = Session.reverify ~carry_counters:carry s in
+      (report, st, true)
+  in
+  t.sv_reused_nets <- t.sv_reused_nets + st.Session.st_reused_nets;
+  t.sv_dirtied_nets <- t.sv_dirtied_nets + st.Session.st_dirtied_nets;
+  t.sv_warm_hits <- t.sv_warm_hits + st.Session.st_warm_hits;
+  t.sv_last_report <- Some report;
+  let* listed =
+    match opt_str j "listing" with
+    | None -> Ok []
+    | Some path -> (
+      match
+        let oc = open_out_bin path in
+        output_string oc (Session.listing s);
+        close_out oc
+      with
+      | () -> Ok [ ("listing", Json.Str path) ]
+      | exception Sys_error m -> Error m)
+  in
+  Ok
+    (ok "verify"
+       (session_fields s
+       @ report_fields report
+       @ stats_fields st
+       @ [ ("fresh", Json.Bool fresh) ]
+       @ listed))
+
+let do_stats t =
+  let cum =
+    List.fold_left
+      (fun acc s -> Eval.merge_counters acc (Session.cumulative s))
+      Eval.zero_counters
+      (Store.sessions t.sv_store)
+  in
+  Ok
+    (ok "stats"
+       [
+         ("sessions", Json.of_int (Store.n_sessions t.sv_store));
+         ("loads", Json.of_int (Store.loads t.sv_store));
+         ("warm_loads", Json.of_int (Store.warm_loads t.sv_store));
+         ("adopted_loads", Json.of_int (Store.adopted_loads t.sv_store));
+         ("requests", Json.of_int t.sv_requests);
+         ("errors", Json.of_int t.sv_errors);
+         ("reused_nets", Json.of_int t.sv_reused_nets);
+         ("dirtied_nets", Json.of_int t.sv_dirtied_nets);
+         ("warm_hits", Json.of_int t.sv_warm_hits);
+         ("events", Json.of_int cum.Eval.c_events);
+         ("evaluations", Json.of_int cum.Eval.c_evaluations);
+         ("cache_hits", Json.of_int cum.Eval.c_cache_hits);
+         ("cache_misses", Json.of_int cum.Eval.c_cache_misses);
+       ])
+
+let extra_counters t =
+  [
+    ("incr_requests", t.sv_requests);
+    ("incr_sessions", Store.n_sessions t.sv_store);
+    ("incr_loads", Store.loads t.sv_store);
+    ("incr_warm_loads", Store.warm_loads t.sv_store);
+    ("incr_adopted_loads", Store.adopted_loads t.sv_store);
+    ("incr_reused_nets", t.sv_reused_nets);
+    ("incr_dirtied_nets", t.sv_dirtied_nets);
+    ("incr_warm_hits", t.sv_warm_hits);
+  ]
+
+let write_metrics t path =
+  match
+    match t.sv_last_report with
+    | Some r -> Some r
+    | None -> Option.map Session.report (Store.latest t.sv_store)
+  with
+  | None -> false
+  | Some report ->
+    Scald_obs.Obs.write_metrics ~extra:(extra_counters t) t.sv_obs ~report path;
+    true
+
+let handle t req =
+  t.sv_requests <- t.sv_requests + 1;
+  let op = match opt_str req "op" with Some o -> o | None -> "" in
+  let result =
+    match op with
+    | "" -> Error "request needs an \"op\" field"
+    | "load" -> Scald_obs.Obs.span t.sv_obs "req:load" (fun () -> do_load t req)
+    | "delta" -> Scald_obs.Obs.span t.sv_obs "req:delta" (fun () -> do_delta t req)
+    | "verify" -> Scald_obs.Obs.span t.sv_obs "req:verify" (fun () -> do_verify t req)
+    | "stats" -> do_stats t
+    | "shutdown" -> Ok (ok "shutdown" [])
+    | o -> Error (Printf.sprintf "unknown op %S" o)
+  in
+  match result with
+  | Ok resp -> (resp, op <> "shutdown")
+  | Error msg ->
+    t.sv_errors <- t.sv_errors + 1;
+    (error ~op:(if op = "" then "?" else op) msg, true)
+
+let handle_line t line =
+  match Json.parse line with
+  | Error msg ->
+    t.sv_requests <- t.sv_requests + 1;
+    t.sv_errors <- t.sv_errors + 1;
+    (Json.to_string (error (Printf.sprintf "bad JSON: %s" msg)), true)
+  | Ok req -> (
+    match handle t req with
+    | resp, cont -> (Json.to_string resp, cont)
+    | exception Invalid_argument msg | exception Failure msg ->
+      t.sv_errors <- t.sv_errors + 1;
+      (Json.to_string (error msg), true)
+    | exception Sys_error msg ->
+      t.sv_errors <- t.sv_errors + 1;
+      (Json.to_string (error msg), true))
+
+let run ?metrics ic oc =
+  let t = create () in
+  output_string oc (Json.to_string (hello ()));
+  output_char oc '\n';
+  flush oc;
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      if String.trim line = "" then loop ()
+      else begin
+        let resp, cont = handle_line t line in
+        output_string oc resp;
+        output_char oc '\n';
+        flush oc;
+        if cont then loop ()
+      end
+  in
+  loop ();
+  (match metrics with
+  | Some path -> ignore (write_metrics t path)
+  | None -> ());
+  0

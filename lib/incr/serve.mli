@@ -1,0 +1,43 @@
+(** The JSONL request loop behind [scald_tv serve] (doc/SERVICE.md).
+
+    One request per line on stdin, one response per line on stdout.
+    Requests are JSON objects dispatched on their ["op"] field:
+    [load], [delta], [verify], [stats], [shutdown].  The service prints
+    a [hello] banner (version, protocol, metrics schema) before reading
+    the first request, and answers every malformed request with
+    [{"ok": false, "error": ...}] without dying.
+
+    The loop is strictly sequential: a request runs to completion
+    before the next line is read, which is what lets sessions mutate
+    their netlists in place. *)
+
+type t
+(** Service state: the session {!Store.t} plus request counters. *)
+
+val create : ?obs:Scald_obs.Obs.t -> unit -> t
+val store : t -> Store.t
+
+val hello : unit -> Json.t
+(** The banner object printed before the first request. *)
+
+val handle : t -> Json.t -> Json.t * bool
+(** Dispatch one decoded request.  Returns the response and whether the
+    loop should continue ([false] only after a successful [shutdown]). *)
+
+val handle_line : t -> string -> string * bool
+(** {!handle} plus JSON decoding and encoding and a catch-all that turns
+    stray exceptions into error responses. *)
+
+val extra_counters : t -> (string * int) list
+(** The [incr_*] counters this service contributes to the metrics JSON
+    ([scald-metrics/2], doc/metrics.schema.json). *)
+
+val write_metrics : t -> string -> bool
+(** Write the metrics JSON for the last verified report, with the
+    [incr_*] counters appended.  Returns [false] (and writes nothing)
+    when no report exists yet. *)
+
+val run : ?metrics:string -> in_channel -> out_channel -> int
+(** The serve main loop: banner, then read-dispatch-respond until
+    [shutdown] or end of input.  [metrics] names a file to write final
+    run metrics to on exit.  Returns the process exit code (0). *)

@@ -1,0 +1,103 @@
+(** A persistent verification session: the delta engine of the
+    incremental service (doc/SERVICE.md).
+
+    A session owns a netlist and the evaluator that verified it, and
+    keeps both alive between requests.  Edits ({!Edit.t}) are staged
+    with {!stage} and replayed by {!reverify}, which:
+
+    + applies the staged edits to the netlist;
+    + computes the {e dirty cone} — the forward closure, over the
+      instance graph, of every edited net plus the nets mapped by any
+      (old or new) case group;
+    + re-freezes the evaluator so only the dirty cone is live (the
+      PR-5 freeze path, {!Scald_core.Eval.refreeze}), and bumps
+      generation stamps only inside it, so every generation-keyed cache
+      outside the cone keeps its value;
+    + replays the case sweep and re-checks through per-instance /
+      per-net violation caches keyed on those same stamps;
+    + merges cached and fresh violations into a report with the exact
+      shape, content and order of a cold {!Scald_core.Verifier.verify}
+      of the edited design.
+
+    The bit-identity guarantee covers verdicts — the violation list and
+    its order, per-case convergence, the unasserted cross-reference, the
+    rendered listing — not the work counters ([r_events],
+    [r_evaluations], [r_obs]), whose whole point is to be smaller.  It
+    assumes convergent evaluation: a design that hits the evaluation
+    bound has order-dependent waveforms by nature, and the
+    [No_convergence] verdict is reproduced but the accompanying
+    waveforms may differ. *)
+
+open Scald_core
+
+type t
+
+type stats = {
+  st_requests : int;  (** verify requests served so far, this one included *)
+  st_reused_nets : int;  (** nets outside the dirty cone (waveform reused) *)
+  st_dirtied_nets : int;  (** nets inside the dirty cone *)
+  st_warm_hits : int;  (** violation-cache verdicts reused by the check pass *)
+  st_fp_changed : int;
+      (** nets whose {!Fingerprint.cones} fingerprint changed — the
+          content-addressed view of the same cone, as a cross-check *)
+  st_events : int;  (** events processed by this request *)
+  st_evaluations : int;  (** evaluations performed by this request *)
+}
+
+val load : ?mode:Eval.mode -> ?cases:Case_analysis.case list -> Netlist.t -> t
+(** Cold-start a session: verify the netlist sequentially (computing the
+    schedule and flow analysis once, to be shared by every later
+    request) and prime the violation caches from the final state. *)
+
+val reverify : ?carry_counters:bool -> t -> Verifier.report * stats
+(** Apply the staged edits and re-verify the dirty cone.  With no edits
+    staged, re-verifies the case-mapped cones only (cheap, and a useful
+    self-check).
+
+    [carry_counters] (default [true]) selects what the report's [r_obs]
+    block carries: the session's {e cumulative} counters — so a
+    multi-run session reports totals, the metrics a service wants — or,
+    when [false], this request's counters alone.  {!stats} always holds
+    the per-request numbers; {!cumulative} always holds the totals. *)
+
+val stage : t -> Edit.t -> unit
+(** Stage an edit for the next {!reverify}.  Edits apply in stage
+    order. *)
+
+val pending : t -> int
+(** Number of staged, not yet applied edits. *)
+
+val id : t -> string
+(** The session's handle: the content digest of the design it was
+    loaded with.  Stable for the session's lifetime. *)
+
+val digest : t -> string
+(** Content digest of the design {e as currently edited}.  Computed
+    lazily — {!reverify} only invalidates it, and the first reader
+    after a re-verify (a response, a {!Store} lookup) pays for the
+    recompute, keeping the re-verify itself proportional to the dirty
+    cone. *)
+
+val skeleton : t -> string
+(** Structure-only digest ({!Fingerprint.skeleton}); invariant under
+    edits. *)
+
+val netlist : t -> Netlist.t
+val mode : t -> Eval.mode
+val report : t -> Verifier.report
+(** The most recent report (cold-run report right after {!load}). *)
+
+val cases : t -> Case_analysis.case list
+val stats : t -> stats
+(** Stats of the most recent request. *)
+
+val cumulative : t -> Eval.counters
+(** Counters accumulated over every request of this session. *)
+
+val fingerprints : t -> int64 array
+(** Current per-net cone fingerprints. *)
+
+val listing : t -> string
+(** The violation listing exactly as [scald_tv -q] prints it for the
+    current report (leading and trailing newline included), for
+    byte-for-byte comparison against a cold run. *)

@@ -7,7 +7,9 @@ type metrics = {
   m_phases : (string * float) list;
 }
 
-let of_report ?(phases = []) (r : Verifier.report) =
+let schema_version = "scald-metrics/2"
+
+let of_report ?(phases = []) ?(extra = []) (r : Verifier.report) =
   {
     m_counters =
       [
@@ -37,7 +39,8 @@ let of_report ?(phases = []) (r : Verifier.report) =
         ("jobs", r.Verifier.r_jobs);
         ("violations", List.length r.Verifier.r_violations);
         ("unasserted", List.length r.Verifier.r_unasserted);
-      ];
+      ]
+      @ extra;
     m_flags = [ ("converged", r.Verifier.r_converged) ];
     m_kinds = r.Verifier.r_obs.Verifier.os_evals_by_kind;
     m_phases = phases;
@@ -71,7 +74,7 @@ let json_float x = Printf.sprintf "%.6f" x
 let to_json m =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"scald-metrics/1\"";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": %s" (json_string schema_version));
   List.iter
     (fun (k, v) ->
       Buffer.add_string buf (Printf.sprintf ",\n  %s: %d" (json_string k) v))

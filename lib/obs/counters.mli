@@ -17,11 +17,22 @@ type metrics = {
   m_phases : (string * float) list;  (** per-phase wall seconds *)
 }
 
+val schema_version : string
+(** The schema identifier written into every metrics document (the
+    [doc/metrics.schema.json] enum), e.g. ["scald-metrics/2"].  Exposed
+    so service clients can negotiate against it ([scald_tv --metrics]
+    prints it; the serve hello banner carries it). *)
+
 val of_report :
-  ?phases:(string * float) list -> Scald_core.Verifier.report -> metrics
+  ?phases:(string * float) list ->
+  ?extra:(string * int) list ->
+  Scald_core.Verifier.report ->
+  metrics
 (** Extract every counter from a report; [phases] adds per-phase wall
     times (name, seconds) — pass [Obs.phase_seconds] or hand-timed
-    figures. *)
+    figures.  [extra] appends additional flat integer counters (the
+    incremental service's [incr_*] family — see
+    [doc/metrics.schema.json] for the allowed names). *)
 
 val counter : metrics -> string -> int
 (** Value of a flat counter, 0 when absent. *)

@@ -39,7 +39,8 @@ let phase_seconds t =
     (fun name -> (name, !(Hashtbl.find seen name) /. 1e6))
     !order
 
-let metrics t ~report = Counters.of_report ~phases:(phase_seconds t) report
+let metrics ?extra t ~report =
+  Counters.of_report ~phases:(phase_seconds t) ?extra report
 
 let write_profile ?process_name ?report t path =
   let counters =
@@ -51,7 +52,8 @@ let write_profile ?process_name ?report t path =
   in
   Trace_export.write_file ?process_name ~counters t.o_prof path
 
-let write_metrics t ~report path = Counters.write_file (metrics t ~report) path
+let write_metrics ?extra t ~report path =
+  Counters.write_file (metrics ?extra t ~report) path
 
 let explain_all t nl violations =
   (* With tracing off, explain against an empty ring: every block then

@@ -36,15 +36,26 @@ val probe : t -> Scald_core.Verifier.probe
 val phase_seconds : t -> (string * float) list
 (** Summed wall seconds per distinct span name, in first-seen order. *)
 
-val metrics : t -> report:Scald_core.Verifier.report -> Counters.metrics
-(** Counters from the report plus this handle's per-phase times. *)
+val metrics :
+  ?extra:(string * int) list ->
+  t ->
+  report:Scald_core.Verifier.report ->
+  Counters.metrics
+(** Counters from the report plus this handle's per-phase times;
+    [extra] appends additional flat counters (see
+    {!Counters.of_report}). *)
 
 val write_profile :
   ?process_name:string -> ?report:Scald_core.Verifier.report -> t -> string -> unit
 (** Write the Chrome trace; when [report] is given its counters are
     appended as counter-track samples. *)
 
-val write_metrics : t -> report:Scald_core.Verifier.report -> string -> unit
+val write_metrics :
+  ?extra:(string * int) list ->
+  t ->
+  report:Scald_core.Verifier.report ->
+  string ->
+  unit
 
 val explain_all :
   t -> Scald_core.Netlist.t -> Scald_core.Check.t list -> string

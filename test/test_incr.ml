@@ -1,0 +1,584 @@
+(* The incremental verification service (doc/SERVICE.md): the JSON
+   codec, the content-addressed fingerprints, the edit vocabulary, the
+   session delta engine — whose re-verify must be bit-identical in
+   verdicts to a cold run of the edited design — the session store's
+   warm/adopt/cold decisions, and the serve protocol loop. *)
+
+open Scald_core
+open Scald_incr
+
+let prop ?(count = 50) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let assertion spec =
+  match Assertion.parse spec with Ok a -> a | Error e -> Alcotest.fail e
+
+(* ---- Json ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\tz");
+        ("n", Json.Num 3.5);
+        ("i", Json.of_int 42);
+        ("neg", Json.Num (-0.25));
+        ("t", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 1.0; Json.Str ""; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_json_parse () =
+  (match Json.parse {| {"a": [1, 2.5, -3e1], "b": "\u0041\n", "c": null} |} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check (option string)) "unicode escape" (Some "A\n")
+      (Option.bind (Json.member "b" v) Json.str);
+    (match Option.bind (Json.member "a" v) Json.list with
+    | Some [ Json.Num a; Json.Num b; Json.Num c ] ->
+      Alcotest.(check bool) "numbers" true (a = 1.0 && b = 2.5 && c = -30.0)
+    | _ -> Alcotest.fail "expected a 3-number array");
+    Alcotest.(check (option int)) "int accessor" (Some 1)
+      (Option.bind (Json.member "a" v) (fun l ->
+           Option.bind (Json.list l) (fun l -> Json.int (List.hd l)))));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Json.parse "not json"));
+  Alcotest.(check bool) "trailing junk rejected" true
+    (Result.is_error (Json.parse "{} x"));
+  Alcotest.(check bool) "unterminated string rejected" true
+    (Result.is_error (Json.parse "\"abc"))
+
+let test_json_int_printing () =
+  Alcotest.(check string) "integral floats print as integers" "{\"n\":7}"
+    (Json.to_string (Json.Obj [ ("n", Json.Num 7.0) ]));
+  Alcotest.(check string) "fractional floats keep their fraction" "{\"n\":7.25}"
+    (Json.to_string (Json.Obj [ ("n", Json.Num 7.25) ]))
+
+(* ---- a small deterministic circuit ----------------------------------------- *)
+
+(* IN0/IN1 -> U0 (AND) -> U1 (BUF) -> DATA, registered by U2 on CK with
+   a setup/hold checker U3: upstream delay edits move DATA's settling
+   time and flip the setup verdict, exercising violation (un)caching. *)
+let build_circuit ?(u0_max = 3.0) ?(data_wire = None) () =
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+      ~default_wire_delay:(Delay.of_ns 0.0 1.0)
+  in
+  let in0 = Netlist.signal nl "IN0 .S0-6" in
+  let in1 = Netlist.signal nl "IN1 .S0-6" in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  let g0 = Netlist.signal nl "G0" in
+  let data = Netlist.signal nl "DATA" in
+  let q = Netlist.signal nl "Q" in
+  (match data_wire with
+  | None -> ()
+  | Some d -> Netlist.set_wire_delay_opt nl data (Some d));
+  ignore
+    (Netlist.add nl ~name:"U0"
+       (Primitive.Gate
+          { fn = Primitive.And; n_inputs = 2; invert = false; delay = Delay.of_ns 1.0 u0_max })
+       ~inputs:[ Netlist.conn in0; Netlist.conn in1 ]
+       ~output:(Some g0));
+  ignore
+    (Netlist.add nl ~name:"U1"
+       (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 })
+       ~inputs:[ Netlist.conn g0 ] ~output:(Some data));
+  ignore
+    (Netlist.add nl ~name:"U2"
+       (Primitive.Reg { delay = Delay.of_ns 1.5 4.5; has_set_reset = false })
+       ~inputs:[ Netlist.conn data; Netlist.conn ck ]
+       ~output:(Some q));
+  ignore
+    (Netlist.add nl ~name:"U3"
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 8.0; hold = Timebase.ps_of_ns 1.0 })
+       ~inputs:[ Netlist.conn data; Netlist.conn ck ]
+       ~output:None);
+  nl
+
+let verdicts_equal (a : Verifier.report) (b : Verifier.report) =
+  a.Verifier.r_violations = b.Verifier.r_violations
+  && a.Verifier.r_converged = b.Verifier.r_converged
+  && a.Verifier.r_unasserted = b.Verifier.r_unasserted
+  && List.length a.Verifier.r_cases = List.length b.Verifier.r_cases
+  && List.for_all2
+       (fun (x : Verifier.case_result) (y : Verifier.case_result) ->
+         x.Verifier.cr_case = y.Verifier.cr_case
+         && x.Verifier.cr_violations = y.Verifier.cr_violations
+         && x.Verifier.cr_converged = y.Verifier.cr_converged)
+       a.Verifier.r_cases b.Verifier.r_cases
+
+let cold_listing (r : Verifier.report) =
+  Format.asprintf "@.%a@." Report.pp_violations r.Verifier.r_violations
+
+(* ---- Fingerprint ------------------------------------------------------------ *)
+
+let test_fingerprint_digest () =
+  let a = build_circuit () and b = build_circuit () in
+  Alcotest.(check string) "digest is deterministic" (Fingerprint.digest a)
+    (Fingerprint.digest b);
+  let c = build_circuit ~u0_max:3.5 () in
+  Alcotest.(check bool) "parameter change moves the digest" true
+    (Fingerprint.digest a <> Fingerprint.digest c);
+  Alcotest.(check string) "but not the skeleton" (Fingerprint.skeleton a)
+    (Fingerprint.skeleton c)
+
+let test_fingerprint_cones () =
+  let a = build_circuit () in
+  let b = build_circuit ~data_wire:(Some (Delay.of_ns 0.5 9.0)) () in
+  let fa = Fingerprint.cones a and fb = Fingerprint.cones b in
+  let net name nl = Option.get (Netlist.find nl name) in
+  Alcotest.(check int) "one fingerprint per net" (Netlist.n_nets a) (Array.length fa);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " upstream of the edit: cone unchanged") true
+        (fa.(net s a) = fb.(net s b)))
+    [ "IN0 .S0-6"; "IN1 .S0-6"; "CK .P2-3"; "G0" ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " at/below the edit: cone changed") true
+        (fa.(net s a) <> fb.(net s b)))
+    [ "DATA"; "Q" ];
+  Alcotest.(check int) "diff_count sees exactly the changed cones" 2
+    (Fingerprint.diff_count fa fb)
+
+(* ---- Edit ------------------------------------------------------------------- *)
+
+let test_edit_apply_and_diff () =
+  let base = build_circuit () in
+  let edited = build_circuit ~u0_max:3.5 ~data_wire:(Some (Delay.of_ns 0.5 9.0)) () in
+  Netlist.set_assertion edited
+    (Option.get (Netlist.find edited "DATA"))
+    (Some (assertion "S2-6"));
+  let edits = Edit.diff base edited in
+  Alcotest.(check int) "diff finds the three edits" 3 (List.length edits);
+  List.iter (fun e -> ignore (Edit.apply base e)) edits;
+  Alcotest.(check string) "replaying the diff reaches the edited digest"
+    (Fingerprint.digest edited) (Fingerprint.digest base)
+
+let test_edit_check () =
+  let nl = build_circuit () in
+  let bad e msg =
+    match Edit.check nl e with
+    | Ok () -> Alcotest.fail ("accepted: " ^ msg)
+    | Error _ -> ()
+  in
+  Alcotest.(check bool) "valid edit accepted" true
+    (Edit.check nl (Edit.Wire_delay { signal = "DATA"; delay = None }) = Ok ());
+  bad (Edit.Wire_delay { signal = "NOPE"; delay = None }) "unknown signal";
+  bad (Edit.Element_delay { inst = "U9"; delay = Delay.zero }) "unknown instance";
+  bad (Edit.Element_delay { inst = "U3"; delay = Delay.zero }) "delay on a checker";
+  bad (Edit.Directive { inst = "U1"; input = 5; directive = [] }) "input out of range";
+  Alcotest.(check bool) "nothing was mutated" true
+    (Fingerprint.digest nl = Fingerprint.digest (build_circuit ()))
+
+let test_edit_of_json () =
+  let decode s =
+    match Json.parse s with
+    | Error e -> Alcotest.fail e
+    | Ok j -> Edit.of_json j
+  in
+  (match decode {| {"edit":"wire_delay","signal":"A","min_ns":0.5,"max_ns":3} |} with
+  | Ok (Edit.Wire_delay { signal = "A"; delay = Some d }) ->
+    Alcotest.(check bool) "delay decoded" true (Delay.equal d (Delay.of_ns 0.5 3.0))
+  | _ -> Alcotest.fail "wire_delay decode");
+  (match decode {| {"edit":"wire_delay","signal":"A","delay":null} |} with
+  | Ok (Edit.Wire_delay { delay = None; _ }) -> ()
+  | _ -> Alcotest.fail "wire_delay null decode");
+  (match decode {| {"edit":"assertion","signal":"CK","assertion":"P2-3"} |} with
+  | Ok (Edit.Assertion { assertion = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "assertion decode");
+  (match decode {| {"edit":"directive","inst":"U1","input":0,"directive":"H"} |} with
+  | Ok (Edit.Directive { input = 0; directive = _ :: _; _ }) -> ()
+  | _ -> Alcotest.fail "directive decode");
+  (match decode {| {"edit":"cases","text":"IN0 .S0-6 = 0;\nIN0 .S0-6 = 1;\n"} |} with
+  | Ok (Edit.Cases [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "cases decode");
+  Alcotest.(check bool) "unknown kind rejected" true
+    (Result.is_error (decode {| {"edit":"rename","signal":"A"} |}));
+  Alcotest.(check bool) "missing field rejected" true
+    (Result.is_error (decode {| {"edit":"wire_delay"} |}))
+
+(* ---- Session ----------------------------------------------------------------- *)
+
+let edited_cold ?(cases = []) ?(mode = Eval.Level) ?(jobs = 1) edits =
+  let nl = build_circuit () in
+  List.iter (fun e -> ignore (Edit.apply nl e)) edits;
+  Verifier.verify ~cases ~jobs ~sched:mode nl
+
+let test_session_reverify_equals_cold () =
+  let edits =
+    [
+      Edit.Wire_delay { signal = "DATA"; delay = Some (Delay.of_ns 0.5 9.0) };
+      Edit.Element_delay { inst = "U0"; delay = Delay.of_ns 1.0 3.5 };
+    ]
+  in
+  let s = Session.load (build_circuit ()) in
+  Alcotest.(check bool) "the edit flips the verdict" true
+    ((Session.report s).Verifier.r_violations <> (edited_cold edits).Verifier.r_violations);
+  List.iter (Session.stage s) edits;
+  Alcotest.(check int) "both edits staged" 2 (Session.pending s);
+  let report, st = Session.reverify s in
+  let cold = edited_cold edits in
+  Alcotest.(check bool) "verdicts equal the cold run" true (verdicts_equal report cold);
+  Alcotest.(check string) "listing byte-identical" (cold_listing cold) (Session.listing s);
+  Alcotest.(check string) "digest tracks the edits"
+    (Fingerprint.digest
+       (let nl = build_circuit () in
+        List.iter (fun e -> ignore (Edit.apply nl e)) edits;
+        nl))
+    (Session.digest s);
+  Alcotest.(check int) "nothing pending afterwards" 0 (Session.pending s);
+  Alcotest.(check bool) "clock's cone was reused" true (st.Session.st_reused_nets > 0);
+  Alcotest.(check bool) "some verdicts were reused" true (st.Session.st_warm_hits > 0);
+  Alcotest.(check bool) "the dirty cone was re-verified" true
+    (st.Session.st_dirtied_nets > 0 && st.Session.st_evaluations > 0)
+
+let test_session_assertion_and_revert () =
+  let s = Session.load (build_circuit ()) in
+  let original = Session.listing s in
+  (* retarget the clock assertion, then put it back: the session must
+     land exactly where it started, through the reassert path both ways *)
+  Session.stage s
+    (Edit.Assertion { signal = "CK .P2-3"; assertion = Some (assertion "P4-5") });
+  let report, _ = Session.reverify s in
+  let cold =
+    edited_cold
+      [ Edit.Assertion { signal = "CK .P2-3"; assertion = Some (assertion "P4-5") } ]
+  in
+  Alcotest.(check bool) "retargeted assertion equals cold" true
+    (verdicts_equal report cold);
+  Session.stage s
+    (Edit.Assertion { signal = "CK .P2-3"; assertion = Some (assertion "P2-3") });
+  let report', _ = Session.reverify s in
+  Alcotest.(check bool) "revert restores the original verdicts" true
+    (verdicts_equal report' (Session.report (Session.load (build_circuit ()))));
+  Alcotest.(check string) "and the original listing" original (Session.listing s);
+  Alcotest.(check string) "and the original digest" (Session.id s) (Session.digest s)
+
+let test_session_noop_reverify () =
+  let s = Session.load (build_circuit ()) in
+  let before = Session.listing s in
+  let report, st = Session.reverify s in
+  Alcotest.(check string) "verdicts unchanged" before (cold_listing report);
+  Alcotest.(check int) "no net dirtied" 0 st.Session.st_dirtied_nets;
+  Alcotest.(check int) "no evaluation ran" 0 st.Session.st_evaluations;
+  Alcotest.(check bool) "every verdict reused" true (st.Session.st_warm_hits > 0)
+
+let test_session_cases_swap () =
+  let cases0 = Case_analysis.complete_exn [ "IN0 .S0-6" ] in
+  let cases1 = Case_analysis.complete_exn [ "IN0 .S0-6"; "IN1 .S0-6" ] in
+  let s = Session.load ~cases:cases0 (build_circuit ()) in
+  Session.stage s (Edit.Cases cases1);
+  let report, _ = Session.reverify s in
+  let cold = Verifier.verify ~cases:cases1 (build_circuit ()) in
+  Alcotest.(check bool) "case-group swap equals cold" true (verdicts_equal report cold);
+  Alcotest.(check int) "four cases ran" 4 (List.length report.Verifier.r_cases);
+  (* swap back down: the old case nets must be re-swept too *)
+  Session.stage s (Edit.Cases cases0);
+  let report', _ = Session.reverify s in
+  Alcotest.(check bool) "swap back equals cold" true
+    (verdicts_equal report' (Verifier.verify ~cases:cases0 (build_circuit ())))
+
+let test_session_counters_carry () =
+  let s = Session.load (build_circuit ()) in
+  Session.stage s (Edit.Wire_delay { signal = "DATA"; delay = Some (Delay.of_ns 0.5 9.0) });
+  let r1, st1 = Session.reverify s in
+  Alcotest.(check bool) "carried r_obs equals the cumulative counters" true
+    (r1.Verifier.r_obs = Verifier.obs_of_counters (Session.cumulative s));
+  let cum1 = (Session.cumulative s).Eval.c_evaluations in
+  Alcotest.(check bool) "cumulative includes the cold run" true
+    (cum1 > st1.Session.st_evaluations);
+  Session.stage s (Edit.Wire_delay { signal = "DATA"; delay = None });
+  let r2, st2 = Session.reverify ~carry_counters:false s in
+  Alcotest.(check bool) "carry_counters:false reports this request alone" true
+    (r2.Verifier.r_obs.Verifier.os_queued
+    < (Verifier.obs_of_counters (Session.cumulative s)).Verifier.os_queued);
+  Alcotest.(check int) "r_events is always per-request" st2.Session.st_events
+    r2.Verifier.r_events;
+  Alcotest.(check bool) "cumulative keeps growing regardless" true
+    ((Session.cumulative s).Eval.c_evaluations
+    = cum1 + st2.Session.st_evaluations)
+
+(* ---- Store -------------------------------------------------------------------- *)
+
+let test_store_warm_adopt_cold () =
+  let st = Store.create () in
+  let s0 =
+    match Store.load st (build_circuit ()) with
+    | Store.Cold s -> s
+    | _ -> Alcotest.fail "first load must be cold"
+  in
+  (match Store.load st (build_circuit ()) with
+  | Store.Warm s -> Alcotest.(check string) "warm hit on the same design" (Session.id s0) (Session.id s)
+  | _ -> Alcotest.fail "identical design must load warm");
+  (match Store.load st (build_circuit ~u0_max:3.5 ()) with
+  | Store.Adopted (s, staged) ->
+    Alcotest.(check string) "adopted the structural twin" (Session.id s0) (Session.id s);
+    Alcotest.(check int) "the parameter diff was staged" 1 staged;
+    let report, _ = Session.reverify s in
+    Alcotest.(check bool) "adopted re-verify equals cold" true
+      (verdicts_equal report (edited_cold [ Edit.Element_delay { inst = "U0"; delay = Delay.of_ns 1.0 3.5 } ]));
+    (* the session now IS the tweaked design: re-submitting it is warm *)
+    (match Store.load st (build_circuit ~u0_max:3.5 ()) with
+    | Store.Warm _ -> ()
+    | _ -> Alcotest.fail "edited-into design must load warm")
+  | _ -> Alcotest.fail "structural twin must be adopted");
+  (match Store.load st (Netlist.create (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25) ~default_wire_delay:Delay.zero) with
+  | Store.Cold _ -> ()
+  | _ -> Alcotest.fail "a different structure must load cold");
+  Alcotest.(check int) "two sessions live" 2 (Store.n_sessions st);
+  Alcotest.(check int) "five loads" 5 (Store.loads st);
+  Alcotest.(check int) "two warm" 2 (Store.warm_loads st);
+  Alcotest.(check int) "one adopted" 1 (Store.adopted_loads st);
+  Alcotest.(check bool) "find by handle" true
+    (Store.find st (Session.id s0) <> None);
+  Alcotest.(check bool) "find by unknown handle" true (Store.find st "xyz" = None)
+
+(* ---- Serve -------------------------------------------------------------------- *)
+
+let inline_source =
+  "PERIOD 50.0;\nCLOCK UNIT 6.25;\nDEFAULT WIRE DELAY 0.0/1.0;\n\
+   1 CHG (DELAY=1.0/3.0) (A .S0-6) -> B;\n\
+   REG (DELAY=1.5/4.5) (B, CK .P2-3) -> Q;\n\
+   SETUP HOLD CHK (SETUP=8.0, HOLD=1.0) (B, CK .P2-3);\n"
+
+let serve_req t line =
+  let resp, cont = Serve.handle_line t line in
+  match Json.parse resp with
+  | Ok j -> (j, cont)
+  | Error e -> Alcotest.fail (Printf.sprintf "unparseable response %s: %s" resp e)
+
+let jbool key j = Option.bind (Json.member key j) Json.bool
+let jint key j = Option.bind (Json.member key j) Json.int
+let jstr key j = Option.bind (Json.member key j) Json.str
+
+let test_serve_protocol () =
+  let t = Serve.create () in
+  (match Json.parse (Json.to_string (Serve.hello ())) with
+  | Ok h ->
+    Alcotest.(check (option string)) "hello names the protocol" (Some Version.protocol)
+      (jstr "protocol" h)
+  | Error e -> Alcotest.fail e);
+  let bad, cont = serve_req t "this is not json" in
+  Alcotest.(check (option bool)) "bad JSON answered, not fatal" (Some false)
+    (jbool "ok" bad);
+  Alcotest.(check bool) "loop continues" true cont;
+  let unknown, _ = serve_req t {| {"op":"frobnicate"} |} in
+  Alcotest.(check (option bool)) "unknown op rejected" (Some false) (jbool "ok" unknown);
+  let noload, _ = serve_req t {| {"op":"verify"} |} in
+  Alcotest.(check (option bool)) "verify before load rejected" (Some false)
+    (jbool "ok" noload);
+  let load, _ =
+    serve_req t
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "load"); ("source", Json.Str inline_source) ]))
+  in
+  Alcotest.(check (option bool)) "load ok" (Some true) (jbool "ok" load);
+  Alcotest.(check (option string)) "cold" (Some "cold") (jstr "mode" load);
+  let session = Option.get (jstr "session" load) in
+  (* atomicity: a delta with one bad edit stages nothing *)
+  let bad_delta, _ =
+    serve_req t
+      {| {"op":"delta","edits":[{"edit":"wire_delay","signal":"B","min_ns":0,"max_ns":9},{"edit":"wire_delay","signal":"NOPE","min_ns":0,"max_ns":1}]} |}
+  in
+  Alcotest.(check (option bool)) "bad delta rejected" (Some false) (jbool "ok" bad_delta);
+  let v0, _ = serve_req t {| {"op":"verify"} |} in
+  Alcotest.(check (option bool)) "nothing staged by the rejected delta" (Some false)
+    (jbool "fresh" v0);
+  let delta, _ =
+    serve_req t {| {"op":"delta","edits":[{"edit":"wire_delay","signal":"B","min_ns":0,"max_ns":9}]} |}
+  in
+  Alcotest.(check (option int)) "edit staged" (Some 1) (jint "staged" delta);
+  let v1, _ = serve_req t (Printf.sprintf {| {"op":"verify","session":"%s"} |} session) in
+  Alcotest.(check (option bool)) "fresh re-verify ran" (Some true) (jbool "fresh" v1);
+  Alcotest.(check bool) "some nets reused" true (Option.get (jint "reused_nets" v1) > 0);
+  Alcotest.(check bool) "some nets dirtied" true (Option.get (jint "dirtied_nets" v1) > 0);
+  let stats, _ = serve_req t {| {"op":"stats"} |} in
+  Alcotest.(check (option int)) "one session" (Some 1) (jint "sessions" stats);
+  Alcotest.(check (option int)) "requests counted" (Some 9) (jint "requests" stats);
+  let bye, cont = serve_req t {| {"op":"shutdown"} |} in
+  Alcotest.(check (option bool)) "shutdown ok" (Some true) (jbool "ok" bye);
+  Alcotest.(check bool) "loop ends" false cont
+
+let test_serve_matches_cli_listing () =
+  (* the serve-mode listing file must be byte-identical to what the CLI
+     prints for the equivalent cold design *)
+  let t = Serve.create () in
+  ignore
+    (serve_req t
+       (Json.to_string
+          (Json.Obj [ ("op", Json.Str "load"); ("source", Json.Str inline_source) ])));
+  ignore
+    (serve_req t {| {"op":"delta","edits":[{"edit":"wire_delay","signal":"B","min_ns":0.0,"max_ns":9.0}]} |});
+  let path = Filename.temp_file "scald_serve" ".txt" in
+  let v, _ =
+    serve_req t
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "verify"); ("listing", Json.Str path) ]))
+  in
+  Alcotest.(check (option bool)) "verify ok" (Some true) (jbool "ok" v);
+  let ic = open_in_bin path in
+  let listing = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let cold =
+    match Scald_sdl.Parser.parse inline_source with
+    | Error e -> Alcotest.fail e
+    | Ok ast -> (
+      match Scald_sdl.Expander.expand ast with
+      | Error e -> Alcotest.fail e
+      | Ok { Scald_sdl.Expander.e_netlist = nl; _ } ->
+        Netlist.set_wire_delay_opt nl
+          (Option.get (Netlist.find nl "B"))
+          (Some (Delay.of_ns 0.0 9.0));
+        Verifier.verify nl)
+  in
+  Alcotest.(check bool) "the edit produced violations" true
+    (cold.Verifier.r_violations <> []);
+  Alcotest.(check string) "serve listing equals the cold CLI listing"
+    (cold_listing cold) listing
+
+(* ---- the bit-identity property ------------------------------------------------ *)
+
+(* Random acyclic gate networks (always convergent) feeding the
+   registered/checked output stage, plus one random edit: staging the
+   edit on a live session and re-verifying must give the same verdicts
+   and listing as a cold verify of an identically edited fresh build —
+   across both scheduling disciplines and sequential/parallel case
+   evaluation. *)
+
+type recipe = {
+  rc_n_inputs : int;
+  rc_gates : (int * int * int) list;
+  rc_edit : int * int * int;  (* kind selector, operand selectors *)
+}
+
+let gen_recipe =
+  let open QCheck.Gen in
+  let gen =
+    let* rc_n_inputs = int_range 2 4 in
+    let* n_gates = int_range 2 10 in
+    let* rc_gates =
+      list_repeat n_gates (triple (int_range 0 4) (int_range 0 1000) (int_range 0 1000))
+    in
+    let* rc_edit = triple (int_range 0 5) (int_range 0 1000) (int_range 0 40) in
+    return { rc_n_inputs; rc_gates; rc_edit }
+  in
+  QCheck.make
+    ~print:(fun r ->
+      let k, a, b = r.rc_edit in
+      Printf.sprintf "%d inputs, %d gates, edit (%d,%d,%d)" r.rc_n_inputs
+        (List.length r.rc_gates) k a b)
+    gen
+
+let input_name i = Printf.sprintf "IN%d .S0-6" i
+
+let build_recipe r =
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+      ~default_wire_delay:(Delay.of_ns 0.0 2.0)
+  in
+  let inputs = List.init r.rc_n_inputs (fun i -> Netlist.signal nl (input_name i)) in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  let nodes = ref (Array.of_list inputs) in
+  List.iteri
+    (fun i (fn_sel, a, b) ->
+      let pool = !nodes in
+      let pick x = pool.(x mod Array.length pool) in
+      let fn =
+        match fn_sel with
+        | 0 -> Primitive.And
+        | 1 -> Primitive.Or
+        | 2 -> Primitive.Xor
+        | _ -> Primitive.Chg
+      in
+      let out = Netlist.signal nl (Printf.sprintf "G%d" i) in
+      ignore
+        (Netlist.add nl ~name:(Printf.sprintf "U%d" i)
+           (Primitive.Gate
+              { fn; n_inputs = 2; invert = fn_sel = 4; delay = Delay.of_ns 1.0 3.0 })
+           ~inputs:[ Netlist.conn (pick a); Netlist.conn (pick b) ]
+           ~output:(Some out));
+      nodes := Array.append pool [| out |])
+    r.rc_gates;
+  let last = !nodes.(Array.length !nodes - 1) in
+  let q = Netlist.signal nl "Q" in
+  ignore
+    (Netlist.add nl ~name:"UREG"
+       (Primitive.Reg { delay = Delay.of_ns 1.5 4.5; has_set_reset = false })
+       ~inputs:[ Netlist.conn last; Netlist.conn ck ]
+       ~output:(Some q));
+  ignore
+    (Netlist.add nl ~name:"UCHK"
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 6.0; hold = Timebase.ps_of_ns 1.0 })
+       ~inputs:[ Netlist.conn last; Netlist.conn ck ]
+       ~output:None);
+  nl
+
+let recipe_edit r =
+  let kind, a, b = r.rc_edit in
+  let n_gates = List.length r.rc_gates in
+  let gate_net = Printf.sprintf "G%d" (a mod n_gates) in
+  match kind with
+  | 0 -> Edit.Wire_delay { signal = gate_net; delay = Some (Delay.of_ns 0.5 (1.0 +. float_of_int b)) }
+  | 1 -> Edit.Wire_delay { signal = gate_net; delay = None }
+  | 2 -> Edit.Element_delay { inst = Printf.sprintf "U%d" (a mod n_gates); delay = Delay.of_ns 1.0 (2.0 +. float_of_int (b mod 9)) }
+  | 3 -> Edit.Assertion { signal = input_name (a mod r.rc_n_inputs); assertion = Some (assertion "S1-7") }
+  | 4 -> Edit.Assertion { signal = input_name (a mod r.rc_n_inputs); assertion = None }
+  | _ -> Edit.Cases (Case_analysis.complete_exn [ input_name (a mod r.rc_n_inputs) ])
+
+let recipe_cases () = Case_analysis.complete_exn [ input_name 0 ]
+
+let bit_identity_property =
+  prop ~count:40 "incremental re-verify is bit-identical to a cold run" gen_recipe
+    (fun r ->
+      let edit = recipe_edit r in
+      let cases = recipe_cases () in
+      List.for_all
+        (fun mode ->
+          let s = Session.load ~mode ~cases (build_recipe r) in
+          Session.stage s edit;
+          let report, _ = Session.reverify s in
+          let incr_listing = Session.listing s in
+          List.for_all
+            (fun jobs ->
+              let nl = build_recipe r in
+              ignore (Edit.apply nl edit);
+              let cases =
+                match edit with Edit.Cases cs -> cs | _ -> cases
+              in
+              let cold = Verifier.verify ~cases ~jobs ~sched:mode nl in
+              verdicts_equal report cold && incr_listing = cold_listing cold)
+            [ 1; 4 ])
+        [ Eval.Level; Eval.Fifo ])
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json int printing" `Quick test_json_int_printing;
+    Alcotest.test_case "fingerprint digest/skeleton" `Quick test_fingerprint_digest;
+    Alcotest.test_case "fingerprint cones localize edits" `Quick test_fingerprint_cones;
+    Alcotest.test_case "edit apply and diff" `Quick test_edit_apply_and_diff;
+    Alcotest.test_case "edit check rejects without mutating" `Quick test_edit_check;
+    Alcotest.test_case "edit of_json" `Quick test_edit_of_json;
+    Alcotest.test_case "session re-verify equals cold" `Quick
+      test_session_reverify_equals_cold;
+    Alcotest.test_case "session assertion edit and revert" `Quick
+      test_session_assertion_and_revert;
+    Alcotest.test_case "session no-op re-verify" `Quick test_session_noop_reverify;
+    Alcotest.test_case "session case-group swap" `Quick test_session_cases_swap;
+    Alcotest.test_case "session counters carry" `Quick test_session_counters_carry;
+    Alcotest.test_case "store warm/adopt/cold" `Quick test_store_warm_adopt_cold;
+    Alcotest.test_case "serve protocol" `Quick test_serve_protocol;
+    Alcotest.test_case "serve listing equals CLI" `Quick test_serve_matches_cli_listing;
+    bit_identity_property;
+  ]

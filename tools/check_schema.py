@@ -9,9 +9,9 @@ the schema independently; blank lines are ignored.
 
 Supports the keywords the checked-in schemas under doc/ actually use
 — type, enum, required, properties, additionalProperties, items,
-minItems, minimum — with no third-party dependencies, so it runs on a
-bare CI python3.  Exits 0 on success, 1 with a path-qualified message
-per failure otherwise.
+minItems, minimum, oneOf — with no third-party dependencies, so it
+runs on a bare CI python3.  Exits 0 on success, 1 with a
+path-qualified message per failure otherwise.
 """
 
 import json
@@ -35,6 +35,22 @@ def type_ok(value, name):
 
 
 def validate(schema, value, path, errors):
+    if "oneOf" in schema:
+        # accept when at least one alternative validates (the serve
+        # response schema dispatches on shape, so "exactly one" would
+        # be needlessly strict here)
+        attempts = []
+        for i, sub in enumerate(schema["oneOf"]):
+            sub_errors = []
+            validate(sub, value, f"{path}<oneOf[{i}]>", sub_errors)
+            if not sub_errors:
+                break
+            attempts.extend(sub_errors)
+        else:
+            errors.append(f"{path}: matches none of the {len(schema['oneOf'])} oneOf alternatives")
+            errors.extend(attempts)
+            return
+
     t = schema.get("type")
     if t is not None:
         names = t if isinstance(t, list) else [t]
