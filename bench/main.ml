@@ -21,7 +21,7 @@ let timed f =
 
 (* With --metrics-dir DIR, experiments that verify a design also write
    their evaluator counters (plus any hand-timed phases) to
-   DIR/BENCH_<id>.json in the scald-metrics/2 shape, so runs can be
+   DIR/BENCH_<id>.json in the scald-metrics/3 shape, so runs can be
    compared column-by-column across commits. *)
 let metrics_dir : string option ref = ref None
 
@@ -1076,6 +1076,86 @@ let incr_reverify () =
   if (not agree) || (not bytes_equal) || ev_x < budget || wall_x < budget then
     exit 1
 
+(* ---- service telemetry overhead ----------------------------------------------------------------------- *)
+
+(* Same contract as [obs_overhead], one layer up: the serve loop's
+   per-request telemetry (latency histograms, trace lanes, span
+   consumption, GC snapshots) must stay under 5% against an identical
+   scripted session with telemetry off.  The script is the CI smoke's
+   shape — one cold load of the s1 subset, then a re-verify churn —
+   driven through [handle_line] so the measured path is exactly the
+   daemon's.  The opt-in exporters (--prom, --log) are file-I/O sinks
+   a deployment chooses deliberately; the gate covers the measurement
+   machinery every serve run pays. *)
+let telemetry_overhead () =
+  section "SERVICE TELEMETRY OVERHEAD: default vs --no-telemetry serve session";
+  (* Three wide-bus edits per delta dirty most of the pipeline, so
+     each re-verify does an honest slab of evaluation work — the
+     telemetry cost under test is per-request and fixed. *)
+  let edit =
+    {|{"op":"delta","edits":[{"edit":"wire_delay","signal":"PC NEXT<0:15>","min_ns":0.5,"max_ns":48.0},{"edit":"wire_delay","signal":"IR<0:31>","min_ns":0.3,"max_ns":3.0},{"edit":"wire_delay","signal":"ALU B<0:31>","min_ns":0.3,"max_ns":3.0}]}|}
+  in
+  let revert =
+    {|{"op":"delta","edits":[{"edit":"wire_delay","signal":"PC NEXT<0:15>","delay":null},{"edit":"wire_delay","signal":"IR<0:31>","delay":null},{"edit":"wire_delay","signal":"ALU B<0:31>","delay":null}]}|}
+  in
+  let verify = {|{"op":"verify"}|} in
+  let churn_requests =
+    List.concat (List.init 100 (fun _ -> [ edit; verify; revert; verify ]))
+  in
+  let feed t line =
+    let resp, _ = Scald_incr.Serve.handle_line t line in
+    if not (String.length resp > 11 && String.sub resp 0 11 = {|{"ok":true,|})
+    then failwith ("telemetry-overhead: request failed: " ^ resp)
+  in
+  (* The cold load is identical under both variants and an order of
+     magnitude noisier than the steady state (parse + expand GC
+     churn), so it runs untimed; the timed region is the re-verify
+     churn — the path a long-lived daemon actually spends its life
+     on.  On/off batches alternate so clock drift and cache warmth hit
+     both sides alike. *)
+  let session ~telemetry =
+    let t = Scald_incr.Serve.create ~telemetry () in
+    feed t
+      {|{"op":"load","file":"examples/s1_subset.sdl","cases_file":"examples/s1_subset.cases"}|};
+    t
+  in
+  let churn t () = List.iter (feed t) churn_requests in
+  let s_on = session ~telemetry:true and s_off = session ~telemetry:false in
+  churn s_on ();
+  churn s_off ();
+  let t_on = ref infinity and t_off = ref infinity in
+  for rep = 1 to 15 do
+    (* alternate which variant goes first so neither always pays the
+       just-interrupted caches *)
+    let order =
+      if rep mod 2 = 0 then [ (s_on, t_on); (s_off, t_off) ]
+      else [ (s_off, t_off); (s_on, t_on) ]
+    in
+    List.iter
+      (fun (s, best) ->
+        let _, b = wall_timed (churn s) in
+        best := Float.min !best b)
+      order
+  done;
+  let t_on = !t_on and t_off = !t_off in
+  let overhead = 100. *. ((t_on /. Float.max 1e-9 t_off) -. 1.) in
+  Printf.printf "  %-44s %10.4f s\n" "re-verify churn (400 reqs), telemetry off"
+    t_off;
+  Printf.printf "  %-44s %10.4f s\n" "re-verify churn (400 reqs), telemetry on"
+    t_on;
+  Printf.printf "  %-44s %+9.1f %%\n" "overhead" overhead;
+  feed s_on {|{"op":"stats"}|};
+  (match Scald_incr.Store.latest (Scald_incr.Serve.store s_on) with
+  | Some s ->
+    emit_bench_metrics "telemetry-overhead"
+      ~phases:[ ("serve_off", t_off); ("serve_on", t_on) ]
+      (Scald_incr.Session.report s)
+  | None -> ());
+  let budget = 5.0 in
+  Printf.printf "\n  overhead budget %.1f%%: %s\n" budget
+    (if overhead < budget then "PASS" else "FAIL");
+  if overhead >= budget then exit 1
+
 (* ---- bechamel micro-benchmarks ------------------------------------------------------------------------ *)
 
 let bechamel_tests () =
@@ -1193,6 +1273,7 @@ let experiments =
     ("sched-speedup", sched_speedup);
     ("flow-prune", flow_prune);
     ("incr-reverify", incr_reverify);
+    ("telemetry-overhead", telemetry_overhead);
   ]
 
 let () =

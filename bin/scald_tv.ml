@@ -331,12 +331,49 @@ let verify_cmd =
 
 let serve_metrics =
   let doc =
-    "On shutdown, write the final run metrics (scald-metrics/2, with the \
-     $(b,incr_*) service counters) as JSON to $(docv)."
+    "On shutdown, write the final run metrics (scald-metrics/3, with the \
+     $(b,incr_*)/$(b,svc_*)/$(b,mem_*) service counters) as JSON to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
-let serve_run metrics = Scald_incr.Serve.run ?metrics stdin stdout
+let serve_slow_ms =
+  let doc =
+    "Mark requests whose wall-clock exceeds $(docv) milliseconds as slow: \
+     flagged in the request log, counted in $(b,slow_requests)."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let serve_log =
+  let doc =
+    "Append one JSON line per request (trace id, op, duration, slow flag) to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let serve_prom =
+  let doc =
+    "Maintain a Prometheus text-format exposition of the service metrics in \
+     $(docv), atomically rewritten after every request."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+let serve_trace =
+  let doc =
+    "On shutdown, write a Chrome trace of the whole run to $(docv), one named \
+     track per request."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let serve_no_telemetry =
+  let doc =
+    "Disable per-request telemetry (latency histograms, trace lanes, memory \
+     snapshots).  $(b,stats)/$(b,health) then report zeros for those fields."
+  in
+  Arg.(value & flag & info [ "no-telemetry" ] ~doc)
+
+let serve_run metrics slow_ms log prom trace no_telemetry =
+  Scald_incr.Serve.run ?metrics ?slow_ms ?log ?prom ?trace
+    ~telemetry:(not no_telemetry) stdin stdout
 
 let serve_cmd =
   let doc = "run the persistent incremental verification service" in
@@ -349,7 +386,8 @@ let serve_cmd =
          dispatched on their \"op\" field: $(b,load) a design into a \
          content-addressed session, stage $(b,delta) edits against it, \
          $(b,verify) by re-evaluating only the dirty cone of the staged edits, \
-         query $(b,stats), and $(b,shutdown).";
+         query $(b,stats) or $(b,health) (per-kind latency quantiles, cache \
+         hit rate, memory accounting), and $(b,shutdown).";
       `S Manpage.s_examples;
       `P
         "printf '%s\\n%s\\n' \
@@ -357,7 +395,11 @@ let serve_cmd =
          '{\"op\":\"shutdown\"}' | $(tname)";
     ]
   in
-  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const serve_run $ serve_metrics)
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_run $ serve_metrics $ serve_slow_ms $ serve_log $ serve_prom
+      $ serve_trace $ serve_no_telemetry)
 
 let cmd =
   let doc = "verify the timing constraints of a synchronous digital design" in

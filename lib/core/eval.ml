@@ -64,6 +64,7 @@ type t = {
   frozen : bool array;
   mutable froze : bool;
   mutable pruned_evals : int;
+  mutable requests : int;
   mutable events : int;
   mutable evals : int;
   mutable queued : int;
@@ -117,6 +118,7 @@ let create ?(mode = Level) ?sched ?flow nl =
     frozen = Array.make (max 1 n_insts) false;
     froze = false;
     pruned_evals = 0;
+    requests = 0;
     events = 0;
     evals = 0;
     queued = 0;
@@ -135,7 +137,10 @@ let events t = t.events
 let evaluations t = t.evals
 let converged t = t.converged
 
+let count_request t = t.requests <- t.requests + 1
+
 let reset_counters t =
+  t.requests <- 0;
   t.events <- 0;
   t.evals <- 0;
   t.queued <- 0;
@@ -147,6 +152,7 @@ let reset_counters t =
   Array.fill t.evals_by_kind 0 n_kinds 0
 
 type counters = {
+  c_requests : int;
   c_events : int;
   c_evaluations : int;
   c_queued : int;
@@ -184,6 +190,7 @@ let counters t =
     | None -> (0, (0, 0, 0, 0, 0))
   in
   {
+    c_requests = t.requests;
     c_events = t.events;
     c_evaluations = t.evals;
     c_queued = t.queued;
@@ -207,6 +214,7 @@ let counters t =
 
 let zero_counters =
   {
+    c_requests = 0;
     c_events = 0;
     c_evaluations = 0;
     c_queued = 0;
@@ -246,6 +254,7 @@ let merge_by_kind a b =
    incomparable across structures) take the max. *)
 let merge_counters a b =
   {
+    c_requests = a.c_requests + b.c_requests;
     c_events = a.c_events + b.c_events;
     c_evaluations = a.c_evaluations + b.c_evaluations;
     c_queued = a.c_queued + b.c_queued;

@@ -135,6 +135,14 @@ val converged : t -> bool
 
 val reset_counters : t -> unit
 
+val count_request : t -> unit
+(** Bump the request counter: one service-level request (a cold load or
+    an incremental re-verify) is about to run on this evaluator.  The
+    counter travels through {!counters} like every accumulator —
+    cleared by {!reset_counters}, summed by {!merge_counters} — so a
+    session's cumulative snapshot reports how many requests it has
+    served.  One-shot CLI runs never call it and report [0]. *)
+
 (** {2 Instrumentation}
 
     The evaluator keeps a handful of always-on integer counters (the
@@ -144,6 +152,9 @@ val reset_counters : t -> unit
     indirect call. *)
 
 type counters = {
+  c_requests : int;
+      (** service-level requests served ({!count_request}); [0] for
+          one-shot runs *)
   c_events : int;  (** output-change events processed *)
   c_evaluations : int;  (** primitive evaluations performed *)
   c_queued : int;  (** enqueue requests (fanout activations) *)

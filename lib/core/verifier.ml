@@ -14,6 +14,7 @@ type lint_summary = {
 }
 
 type obs_summary = {
+  os_requests : int;
   os_queued : int;
   os_coalesced : int;
   os_queue_hwm : int;
@@ -66,6 +67,7 @@ let dedup_violations vs =
 
 let obs_of_counters (c : Eval.counters) =
   {
+    os_requests = c.Eval.c_requests;
     os_queued = c.Eval.c_queued;
     os_coalesced = c.Eval.c_coalesced;
     os_queue_hwm = c.Eval.c_queue_hwm;

@@ -37,6 +37,9 @@ type lint_summary = {
     [Verifier.verify ~lint:Scald_lint.Lint.summary nl]. *)
 
 type obs_summary = {
+  os_requests : int;
+      (** service-level requests ({!Eval.count_request}); [0] for
+          one-shot runs *)
   os_queued : int;  (** work-list enqueue requests over all cases *)
   os_coalesced : int;
       (** enqueue requests absorbed because the target was already

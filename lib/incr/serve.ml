@@ -1,29 +1,59 @@
 open Scald_core
 
+(* The request kinds with their own latency histogram, in the fixed
+   order every exposition (stats/health/prom/metrics) lists them. *)
+let kinds = [ "load"; "delta"; "verify"; "stats"; "health" ]
+
 type t = {
   sv_store : Store.t;
   sv_obs : Scald_obs.Obs.t;
+  sv_telemetry : bool;
+  sv_slow_ms : float;
+  sv_log : out_channel option;
+  sv_prom : string option;
+  sv_t0_us : float;
   mutable sv_requests : int;
   mutable sv_errors : int;
+  mutable sv_slow : int;
   mutable sv_reused_nets : int;
   mutable sv_dirtied_nets : int;
   mutable sv_warm_hits : int;
   mutable sv_last_report : Verifier.report option;
+  sv_kind_hist : (string, Scald_obs.Hist.t) Hashtbl.t;  (* request wall µs *)
+  sv_phase_hist : (string, Scald_obs.Hist.t) Hashtbl.t;  (* span µs by name *)
+  mutable sv_spans_seen : int;  (* profiler spans consumed so far *)
+  mutable sv_lanes : (int * string) list;  (* trace lanes, newest first *)
+  mutable sv_mem : Scald_obs.Mem.snapshot;
+  mutable sv_bpp : float;  (* bytes per primitive, last sampled *)
 }
 
-let create ?obs () =
+let create ?obs ?(telemetry = true) ?(slow_ms = infinity) ?log ?prom () =
+  let sv_obs = match obs with Some o -> o | None -> Scald_obs.Obs.create () in
   {
     sv_store = Store.create ();
-    sv_obs = (match obs with Some o -> o | None -> Scald_obs.Obs.create ());
+    sv_obs;
+    sv_telemetry = telemetry;
+    sv_slow_ms = slow_ms;
+    sv_log = log;
+    sv_prom = prom;
+    sv_t0_us = Scald_obs.Obs.now_us sv_obs;
     sv_requests = 0;
     sv_errors = 0;
+    sv_slow = 0;
     sv_reused_nets = 0;
     sv_dirtied_nets = 0;
     sv_warm_hits = 0;
     sv_last_report = None;
+    sv_kind_hist = Hashtbl.create 8;
+    sv_phase_hist = Hashtbl.create 16;
+    sv_spans_seen = Scald_obs.Span.n_completed (Scald_obs.Obs.profiler sv_obs);
+    sv_lanes = [];
+    sv_mem = Scald_obs.Mem.zero;
+    sv_bpp = 0.0;
   }
 
 let store t = t.sv_store
+let lanes t = List.rev t.sv_lanes
 
 let hello () =
   Json.Obj
@@ -49,6 +79,174 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* ---- telemetry ------------------------------------------------------------ *)
+
+let uptime_us t = Scald_obs.Obs.now_us t.sv_obs -. t.sv_t0_us
+
+let hist_for tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h = Scald_obs.Hist.create () in
+    Hashtbl.add tbl name h;
+    h
+
+(* Fold the spans the last request produced into the per-phase
+   histograms.  O(spans this request), not O(all spans ever): the
+   profiler's completed list is newest-first, so [recent] takes just
+   the fresh suffix. *)
+let consume_spans t =
+  let prof = Scald_obs.Obs.profiler t.sv_obs in
+  let n = Scald_obs.Span.n_completed prof in
+  let fresh = n - t.sv_spans_seen in
+  if fresh > 0 then begin
+    List.iter
+      (fun (s : Scald_obs.Span.span) ->
+        Scald_obs.Hist.add
+          (hist_for t.sv_phase_hist s.Scald_obs.Span.s_name)
+          s.Scald_obs.Span.s_dur_us)
+      (Scald_obs.Span.recent prof fresh);
+    t.sv_spans_seen <- n
+  end;
+  fresh
+
+(* Memory + bytes-per-primitive sampling.  [full] reads /proc and
+   walks the netlist sizes ([Stats.storage_of] is O(design)), so it
+   runs only at load/stats/health boundaries; every other request
+   boundary takes the cheap GC-only snapshot, carrying the last RSS
+   reading forward — this is what keeps telemetry inside the <5%
+   overhead budget on sub-millisecond re-verifies. *)
+let refresh_resources ?(full = false) t =
+  if t.sv_telemetry then
+    if full then begin
+      t.sv_mem <- Scald_obs.Mem.sample ();
+      match Store.latest t.sv_store with
+      | None -> ()
+      | Some s ->
+        let nl = Session.netlist s in
+        let st = Stats.storage_of nl in
+        t.sv_bpp <-
+          Stats.bytes_per_primitive st ~n_primitives:(max 1 (Netlist.n_insts nl))
+    end
+    else
+      t.sv_mem <-
+        Scald_obs.Mem.sample
+          ~peak_rss_kb:t.sv_mem.Scald_obs.Mem.mem_peak_rss_kb ()
+
+let cumulative_counters t =
+  List.fold_left
+    (fun acc s -> Eval.merge_counters acc (Session.cumulative s))
+    Eval.zero_counters
+    (Store.sessions t.sv_store)
+
+let cache_hit_rate (c : Eval.counters) =
+  let total = c.Eval.c_cache_hits + c.Eval.c_cache_misses in
+  if total = 0 then 0.0 else float_of_int c.Eval.c_cache_hits /. float_of_int total
+
+(* kind -> {count, p50_us, p90_us, p99_us, max_us}, kinds with traffic
+   only, in the fixed [kinds] order. *)
+let latency_json t =
+  Json.Obj
+    (List.filter_map
+       (fun k ->
+         match Hashtbl.find_opt t.sv_kind_hist k with
+         | Some h when Scald_obs.Hist.count h > 0 ->
+           Some
+             ( k,
+               Json.Obj
+                 [
+                   ("count", Json.of_int (Scald_obs.Hist.count h));
+                   ("p50_us", Json.Num (Scald_obs.Hist.quantile h 0.5));
+                   ("p90_us", Json.Num (Scald_obs.Hist.quantile h 0.9));
+                   ("p99_us", Json.Num (Scald_obs.Hist.quantile h 0.99));
+                   ("max_us", Json.Num (Scald_obs.Hist.max_value h));
+                 ] )
+         | _ -> None)
+       kinds)
+
+let log_request t ~reqno ~op ~ok ~dur_us ~slow =
+  match t.sv_log with
+  | None -> ()
+  | Some oc ->
+    output_string oc
+      (Json.to_string
+         (Json.Obj
+            [
+              ("req", Json.of_int reqno);
+              ("trace", Json.Str (Printf.sprintf "r%d" reqno));
+              ("op", Json.Str op);
+              ("ok", Json.Bool ok);
+              ("dur_us", Json.Num dur_us);
+              ("slow", Json.Bool slow);
+            ]));
+    output_char oc '\n';
+    flush oc
+
+let prom_families t =
+  let open Scald_obs in
+  let kind_hists =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t.sv_kind_hist k with
+        | Some h when Hist.count h > 0 -> Some (k, h)
+        | _ -> None)
+      kinds
+  in
+  let cum = cumulative_counters t in
+  let f = float_of_int in
+  [
+    Prom.family ~name:"scald_uptime_us"
+      ~help:"Microseconds since the service started" ~typ:`Gauge
+      [ Prom.sample (uptime_us t) ];
+    Prom.family ~name:"scald_requests_total" ~help:"Requests served by operation"
+      ~typ:`Counter
+      (List.map
+         (fun (k, h) -> Prom.sample ~labels:[ ("op", k) ] (f (Hist.count h)))
+         kind_hists);
+    Prom.family ~name:"scald_errors_total" ~help:"Requests answered with an error"
+      ~typ:`Counter
+      [ Prom.sample (f t.sv_errors) ];
+    Prom.family ~name:"scald_slow_requests_total"
+      ~help:"Requests over the --slow-ms threshold" ~typ:`Counter
+      [ Prom.sample (f t.sv_slow) ];
+    Prom.family ~name:"scald_request_duration_us"
+      ~help:"Request wall-clock quantile estimates by operation" ~typ:`Gauge
+      (List.concat_map
+         (fun (k, h) ->
+           [
+             Prom.sample
+               ~labels:[ ("op", k); ("quantile", "0.5") ]
+               (Hist.quantile h 0.5);
+             Prom.sample
+               ~labels:[ ("op", k); ("quantile", "0.9") ]
+               (Hist.quantile h 0.9);
+             Prom.sample
+               ~labels:[ ("op", k); ("quantile", "0.99") ]
+               (Hist.quantile h 0.99);
+             Prom.sample ~labels:[ ("op", k); ("quantile", "1") ] (Hist.max_value h);
+           ])
+         kind_hists);
+    Prom.family ~name:"scald_cache_hits_total"
+      ~help:"Waveform/register cache hits over all sessions" ~typ:`Counter
+      [ Prom.sample (f cum.Eval.c_cache_hits) ];
+    Prom.family ~name:"scald_cache_misses_total"
+      ~help:"Waveform/register cache fills over all sessions" ~typ:`Counter
+      [ Prom.sample (f cum.Eval.c_cache_misses) ];
+    Prom.family ~name:"scald_sessions" ~help:"Live sessions in the store"
+      ~typ:`Gauge
+      [ Prom.sample (f (Store.n_sessions t.sv_store)) ];
+    Prom.family ~name:"scald_mem_peak_rss_kb"
+      ~help:"Peak resident set size in kB (VmHWM)" ~typ:`Gauge
+      [ Prom.sample (f t.sv_mem.Mem.mem_peak_rss_kb) ];
+    Prom.family ~name:"scald_mem_heap_words" ~help:"Major heap size in words"
+      ~typ:`Gauge
+      [ Prom.sample (f t.sv_mem.Mem.mem_heap_words) ];
+    Prom.family ~name:"scald_bytes_per_primitive"
+      ~help:"Circuit-description bytes per primitive of the latest design"
+      ~typ:`Gauge
+      [ Prom.sample t.sv_bpp ];
+  ]
 
 (* ---- request decoding ----------------------------------------------------- *)
 
@@ -108,7 +306,10 @@ let do_load t j =
   let* mode = sched_of j in
   let* ast = Scald_sdl.Parser.parse src in
   let* { Scald_sdl.Expander.e_netlist = nl; _ } = Scald_sdl.Expander.expand ast in
-  let outcome = Store.load t.sv_store ~mode ~cases nl in
+  let probe =
+    if t.sv_telemetry then Some (Scald_obs.Obs.probe t.sv_obs) else None
+  in
+  let outcome = Store.load t.sv_store ~mode ~cases ?probe nl in
   let s, mode_str, staged =
     match outcome with
     | Store.Cold s -> (s, "cold", 0)
@@ -211,12 +412,7 @@ let do_verify t j =
        @ listed))
 
 let do_stats t =
-  let cum =
-    List.fold_left
-      (fun acc s -> Eval.merge_counters acc (Session.cumulative s))
-      Eval.zero_counters
-      (Store.sessions t.sv_store)
-  in
+  let cum = cumulative_counters t in
   Ok
     (ok "stats"
        [
@@ -226,6 +422,8 @@ let do_stats t =
          ("adopted_loads", Json.of_int (Store.adopted_loads t.sv_store));
          ("requests", Json.of_int t.sv_requests);
          ("errors", Json.of_int t.sv_errors);
+         ("slow_requests", Json.of_int t.sv_slow);
+         ("uptime_us", Json.of_int (int_of_float (uptime_us t)));
          ("reused_nets", Json.of_int t.sv_reused_nets);
          ("dirtied_nets", Json.of_int t.sv_dirtied_nets);
          ("warm_hits", Json.of_int t.sv_warm_hits);
@@ -233,9 +431,55 @@ let do_stats t =
          ("evaluations", Json.of_int cum.Eval.c_evaluations);
          ("cache_hits", Json.of_int cum.Eval.c_cache_hits);
          ("cache_misses", Json.of_int cum.Eval.c_cache_misses);
+         ("cache_hit_rate", Json.Num (cache_hit_rate cum));
+         ("latency_us", latency_json t);
+         ("peak_rss_kb", Json.of_int t.sv_mem.Scald_obs.Mem.mem_peak_rss_kb);
+         ("bytes_per_primitive", Json.Num t.sv_bpp);
+       ])
+
+let do_health t =
+  let cum = cumulative_counters t in
+  let m = t.sv_mem in
+  Ok
+    (ok "health"
+       [
+         ("uptime_us", Json.of_int (int_of_float (uptime_us t)));
+         ("requests", Json.of_int t.sv_requests);
+         ("errors", Json.of_int t.sv_errors);
+         ("slow_requests", Json.of_int t.sv_slow);
+         ("sessions", Json.of_int (Store.n_sessions t.sv_store));
+         ("latency_us", latency_json t);
+         ("cache_hit_rate", Json.Num (cache_hit_rate cum));
+         ( "mem",
+           Json.Obj
+             [
+               ("minor_words", Json.Num m.Scald_obs.Mem.mem_minor_words);
+               ("promoted_words", Json.Num m.Scald_obs.Mem.mem_promoted_words);
+               ("major_words", Json.Num m.Scald_obs.Mem.mem_major_words);
+               ("heap_words", Json.of_int m.Scald_obs.Mem.mem_heap_words);
+               ("compactions", Json.of_int m.Scald_obs.Mem.mem_compactions);
+               ("peak_rss_kb", Json.of_int m.Scald_obs.Mem.mem_peak_rss_kb);
+             ] );
+         ("bytes_per_primitive", Json.Num t.sv_bpp);
        ])
 
 let extra_counters t =
+  let open Scald_obs in
+  let svc =
+    List.concat_map
+      (fun k ->
+        match Hashtbl.find_opt t.sv_kind_hist k with
+        | Some h when Hist.count h > 0 ->
+          [
+            (Printf.sprintf "svc_%s_requests" k, Hist.count h);
+            (Printf.sprintf "svc_%s_p50_us" k, int_of_float (Hist.quantile h 0.5));
+            (Printf.sprintf "svc_%s_p90_us" k, int_of_float (Hist.quantile h 0.9));
+            (Printf.sprintf "svc_%s_p99_us" k, int_of_float (Hist.quantile h 0.99));
+            (Printf.sprintf "svc_%s_max_us" k, int_of_float (Hist.max_value h));
+          ]
+        | _ -> [])
+      kinds
+  in
   [
     ("incr_requests", t.sv_requests);
     ("incr_sessions", Store.n_sessions t.sv_store);
@@ -245,7 +489,16 @@ let extra_counters t =
     ("incr_reused_nets", t.sv_reused_nets);
     ("incr_dirtied_nets", t.sv_dirtied_nets);
     ("incr_warm_hits", t.sv_warm_hits);
+    ("svc_slow_requests", t.sv_slow);
+    ("mem_minor_words", int_of_float t.sv_mem.Mem.mem_minor_words);
+    ("mem_promoted_words", int_of_float t.sv_mem.Mem.mem_promoted_words);
+    ("mem_major_words", int_of_float t.sv_mem.Mem.mem_major_words);
+    ("mem_heap_words", t.sv_mem.Mem.mem_heap_words);
+    ("mem_compactions", t.sv_mem.Mem.mem_compactions);
+    ("mem_peak_rss_kb", t.sv_mem.Mem.mem_peak_rss_kb);
+    ("bytes_per_primitive", int_of_float t.sv_bpp);
   ]
+  @ svc
 
 let write_metrics t path =
   match
@@ -260,22 +513,58 @@ let write_metrics t path =
 
 let handle t req =
   t.sv_requests <- t.sv_requests + 1;
+  let reqno = t.sv_requests in
   let op = match opt_str req "op" with Some o -> o | None -> "" in
+  let t_start = if t.sv_telemetry then Scald_obs.Obs.now_us t.sv_obs else 0.0 in
+  (* one lane per request: every span recorded while it runs — the
+     req:* wrapper plus the nested Session/Eval phases — lands on the
+     request's own trace track *)
+  if t.sv_telemetry then Scald_obs.Obs.set_lane t.sv_obs reqno;
   let result =
     match op with
     | "" -> Error "request needs an \"op\" field"
     | "load" -> Scald_obs.Obs.span t.sv_obs "req:load" (fun () -> do_load t req)
     | "delta" -> Scald_obs.Obs.span t.sv_obs "req:delta" (fun () -> do_delta t req)
     | "verify" -> Scald_obs.Obs.span t.sv_obs "req:verify" (fun () -> do_verify t req)
-    | "stats" -> do_stats t
+    | "stats" ->
+      (* the response carries the memory snapshot: refresh first *)
+      refresh_resources ~full:true t;
+      do_stats t
+    | "health" ->
+      refresh_resources ~full:true t;
+      do_health t
     | "shutdown" -> Ok (ok "shutdown" [])
     | o -> Error (Printf.sprintf "unknown op %S" o)
   in
+  let succeeded = match result with Ok _ -> true | Error _ -> false in
+  if not succeeded then t.sv_errors <- t.sv_errors + 1;
+  if t.sv_telemetry then begin
+    Scald_obs.Obs.set_lane t.sv_obs 0;
+    let fresh = consume_spans t in
+    if fresh > 0 then
+      t.sv_lanes <- (reqno, Printf.sprintf "r%d:%s" reqno op) :: t.sv_lanes;
+    let dur_us = Scald_obs.Obs.now_us t.sv_obs -. t_start in
+    if List.mem op kinds then
+      Scald_obs.Hist.add (hist_for t.sv_kind_hist op) dur_us;
+    let slow = dur_us /. 1000.0 > t.sv_slow_ms in
+    if slow then t.sv_slow <- t.sv_slow + 1;
+    (match op with
+    | "load" when succeeded -> refresh_resources ~full:true t
+    | "stats" | "health" -> ()  (* refreshed pre-dispatch *)
+    | _ ->
+      (* between the full sampling points only the prom exporter reads
+         the snapshot, so only it pays the per-request GC sample *)
+      if t.sv_prom <> None then refresh_resources t);
+    log_request t ~reqno
+      ~op:(if op = "" then "?" else op)
+      ~ok:succeeded ~dur_us ~slow;
+    match t.sv_prom with
+    | Some path -> Scald_obs.Prom.write_file path (prom_families t)
+    | None -> ()
+  end;
   match result with
   | Ok resp -> (resp, op <> "shutdown")
-  | Error msg ->
-    t.sv_errors <- t.sv_errors + 1;
-    (error ~op:(if op = "" then "?" else op) msg, true)
+  | Error msg -> (error ~op:(if op = "" then "?" else op) msg, true)
 
 let handle_line t line =
   match Json.parse line with
@@ -293,8 +582,13 @@ let handle_line t line =
       t.sv_errors <- t.sv_errors + 1;
       (Json.to_string (error msg), true))
 
-let run ?metrics ic oc =
-  let t = create () in
+let write_trace t path =
+  Scald_obs.Obs.write_profile ~process_name:"scald_tv serve" ~lanes:(lanes t)
+    ?report:t.sv_last_report t.sv_obs path
+
+let run ?metrics ?slow_ms ?log ?prom ?trace ?telemetry ic oc =
+  let log_oc = Option.map open_out log in
+  let t = create ?telemetry ?slow_ms ?log:log_oc ?prom () in
   output_string oc (Json.to_string (hello ()));
   output_char oc '\n';
   flush oc;
@@ -315,4 +609,6 @@ let run ?metrics ic oc =
   (match metrics with
   | Some path -> ignore (write_metrics t path)
   | None -> ());
+  (match trace with Some path -> write_trace t path | None -> ());
+  Option.iter close_out log_oc;
   0

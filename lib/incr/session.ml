@@ -20,6 +20,10 @@ type t = {
   s_sched : Sched.t;
   s_mode : Eval.mode;
   s_ev : Eval.t;
+  (* observation hook shared by every request of the session: spans
+     emitted here inherit whatever lane the serve loop set, so traces
+     attribute each phase to its request *)
+  s_probe : Verifier.probe option;
   mutable s_fp : int64 array;
   mutable s_cases : Case_analysis.case list;
   mutable s_case_nets : int list;
@@ -96,12 +100,12 @@ let cached_check t =
   let base = List.concat (List.rev !acc) in
   (Eval.divergence ev @ base, !hits)
 
-let load ?(mode = Eval.Level) ?(cases = []) nl =
+let load ?(mode = Eval.Level) ?(cases = []) ?probe nl =
   let sched = Sched.compute nl in
   let case_nets = resolved_case_nets nl cases in
   let flow = Flow.analyse ~sched ~case_nets nl in
   let report =
-    Verifier.verify ~cases ~jobs:1 ~sched:mode ~analysis:(sched, flow) nl
+    Verifier.verify ~cases ~jobs:1 ?probe ~sched:mode ~analysis:(sched, flow) nl
   in
   let ev = report.Verifier.r_eval in
   let t =
@@ -113,6 +117,7 @@ let load ?(mode = Eval.Level) ?(cases = []) nl =
       s_sched = sched;
       s_mode = mode;
       s_ev = ev;
+      s_probe = probe;
       s_fp = Fingerprint.cones ~sched nl;
       s_cases = cases;
       s_case_nets = case_nets;
@@ -140,6 +145,7 @@ let load ?(mode = Eval.Level) ?(cases = []) nl =
      replays one check pass; its waveform-cache traffic lands in the
      cumulative counters sampled next. *)
   ignore (cached_check t);
+  Eval.count_request ev;
   t.s_cum <- Eval.counters ev;
   t
 
@@ -204,21 +210,30 @@ let dirty_cone nl ~seed_nets ~seed_insts =
 
 let reverify ?(carry_counters = true) t =
   let nl = t.s_nl and ev = t.s_ev in
+  (* [span] stays let-bound polymorphic, like the wrapper in
+     [Verifier.verify]: it wraps unit-, pair- and list-returning
+     phases below. *)
+  let span : 'a. string -> (unit -> 'a) -> 'a =
+   fun name f ->
+    match t.s_probe with None -> f () | Some p -> p.Verifier.pr_span name f
+  in
   t.s_requests <- t.s_requests + 1;
   Eval.reset_counters ev;
+  Eval.count_request ev;
   let edits = List.rev t.s_pending in
   t.s_pending <- [];
   (* 1. apply the staged edits, collecting cone seeds *)
   let touched_nets = ref [] and reinit_nets = ref [] and touched_insts = ref [] in
   let new_cases = ref None in
-  List.iter
-    (fun e ->
-      let a = Edit.apply nl e in
-      touched_nets := a.Edit.a_touched_nets @ !touched_nets;
-      reinit_nets := a.Edit.a_reinit_nets @ !reinit_nets;
-      touched_insts := a.Edit.a_touched_insts @ !touched_insts;
-      match a.Edit.a_cases with Some cs -> new_cases := Some cs | None -> ())
-    edits;
+  span "apply" (fun () ->
+      List.iter
+        (fun e ->
+          let a = Edit.apply nl e in
+          touched_nets := a.Edit.a_touched_nets @ !touched_nets;
+          reinit_nets := a.Edit.a_reinit_nets @ !reinit_nets;
+          touched_insts := a.Edit.a_touched_insts @ !touched_insts;
+          match a.Edit.a_cases with Some cs -> new_cases := Some cs | None -> ())
+        edits);
   let old_case_nets = t.s_case_nets in
   (match !new_cases with
   | Some cs ->
@@ -247,8 +262,12 @@ let reverify ?(carry_counters = true) t =
           (reinit_nets @ old_case_nets @ t.s_case_nets))
   in
   (* 2. thaw exactly the dirty cone, freeze everything else *)
-  let inst_dirty, net_dirty = dirty_cone nl ~seed_nets ~seed_insts in
-  Eval.refreeze ev ~active:(fun id -> inst_dirty.(id));
+  let net_dirty =
+    span "cone" (fun () ->
+        let inst_dirty, net_dirty = dirty_cone nl ~seed_nets ~seed_insts in
+        Eval.refreeze ev ~active:(fun id -> inst_dirty.(id));
+        net_dirty)
+  in
   (* 3. inject the edits into the evaluator: bump stamps, wake cones *)
   List.iter (Eval.touch_net ev) touched_nets;
   List.iter (Eval.reassert_net ev) reinit_nets;
@@ -258,10 +277,14 @@ let reverify ?(carry_counters = true) t =
   (* 4. replay the case sweep, checking each case through the caches *)
   let warm = ref 0 in
   let case_list = match t.s_cases with [] -> [ [] ] | cs -> cs in
-  let run_case case =
+  let run_case i case =
     let before_events = Eval.events ev and before_evals = Eval.evaluations ev in
-    Eval.run ~case:(Case_analysis.resolve nl case) ev;
-    let violations, hits = cached_check t in
+    span
+      (Printf.sprintf "evaluate:case%d" (i + 1))
+      (fun () -> Eval.run ~case:(Case_analysis.resolve nl case) ev);
+    let violations, hits =
+      span (Printf.sprintf "check:case%d" (i + 1)) (fun () -> cached_check t)
+    in
     warm := !warm + hits;
     {
       Verifier.cr_case = case;
@@ -271,7 +294,7 @@ let reverify ?(carry_counters = true) t =
       cr_converged = Eval.converged ev;
     }
   in
-  let results = List.map run_case case_list in
+  let results = List.mapi run_case case_list in
   (* 5. merge counters and rebuild the report in Verifier.verify's shape *)
   let c = Eval.counters ev in
   t.s_cum <- Eval.merge_counters t.s_cum c;
@@ -298,9 +321,10 @@ let reverify ?(carry_counters = true) t =
      is exactly what the incremental mode needs *)
   t.s_digest <- None;
   let fp =
-    Fingerprint.cones ~sched:t.s_sched ~prev:t.s_fp
-      ~dirty:(fun nid -> net_dirty.(nid))
-      nl
+    span "fingerprint" (fun () ->
+        Fingerprint.cones ~sched:t.s_sched ~prev:t.s_fp
+          ~dirty:(fun nid -> net_dirty.(nid))
+          nl)
   in
   let fp_changed = Fingerprint.diff_count t.s_fp fp in
   t.s_fp <- fp;

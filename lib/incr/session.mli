@@ -44,10 +44,22 @@ type stats = {
   st_evaluations : int;  (** evaluations performed by this request *)
 }
 
-val load : ?mode:Eval.mode -> ?cases:Case_analysis.case list -> Netlist.t -> t
+val load :
+  ?mode:Eval.mode ->
+  ?cases:Case_analysis.case list ->
+  ?probe:Verifier.probe ->
+  Netlist.t ->
+  t
 (** Cold-start a session: verify the netlist sequentially (computing the
     schedule and flow analysis once, to be shared by every later
-    request) and prime the violation caches from the final state. *)
+    request) and prime the violation caches from the final state.
+
+    [probe] is kept for the session's lifetime: the cold verify runs
+    under it, and every later {!reverify} wraps its phases ([apply],
+    [cone], [evaluate:caseN], [check:caseN], [fingerprint]) in
+    [pr_span] — so a serve daemon that sets a trace lane per request
+    (see {!Scald_obs.Span.set_lane}) gets correctly attributed
+    per-request spans instead of one interleaved stream. *)
 
 val reverify : ?carry_counters:bool -> t -> Verifier.report * stats
 (** Apply the staged edits and re-verify the dirty cone.  With no edits

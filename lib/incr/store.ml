@@ -34,7 +34,7 @@ let promote t s =
 
 let same_cases a b = a = b
 
-let load t ?(mode = Eval.Level) ?(cases = []) nl =
+let load t ?(mode = Eval.Level) ?(cases = []) ?probe nl =
   t.loads <- t.loads + 1;
   let digest = Fingerprint.digest nl in
   let by_digest =
@@ -82,6 +82,6 @@ let load t ?(mode = Eval.Level) ?(cases = []) nl =
       promote t s;
       Adopted (s, n)
     | None ->
-      let s = Session.load ~mode ~cases nl in
+      let s = Session.load ~mode ~cases ?probe nl in
       t.sessions <- s :: t.sessions;
       Cold s)

@@ -24,10 +24,19 @@ type outcome =
 
 val create : unit -> t
 
-val load : t -> ?mode:Eval.mode -> ?cases:Case_analysis.case list -> Netlist.t -> outcome
+val load :
+  t ->
+  ?mode:Eval.mode ->
+  ?cases:Case_analysis.case list ->
+  ?probe:Verifier.probe ->
+  Netlist.t ->
+  outcome
 (** Load a design, reusing or adopting a live session when the content
     address allows it.  On {!Adopted}, the submitted netlist is
-    discarded — the session keeps its own and replays the diff. *)
+    discarded — the session keeps its own and replays the diff.
+    [probe] is installed on a {!Cold} load only (see
+    {!Session.load}) — reused sessions keep the probe they were
+    created with. *)
 
 val find : t -> string -> Session.t option
 (** Look up by session handle ({!Session.id}) or current content digest

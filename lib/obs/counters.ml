@@ -7,12 +7,24 @@ type metrics = {
   m_phases : (string * float) list;
 }
 
-let schema_version = "scald-metrics/2"
+let schema_version = "scald-metrics/3"
+
+(* A duplicate key — a caller's [extra] colliding with a built-in, or
+   with itself — would serialize as two identical JSON fields: valid
+   to some parsers, last-wins to others, silently lossy to all. *)
+let check_no_dup_keys pairs =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then
+        invalid_arg (Printf.sprintf "Counters.of_report: duplicate key %S" k)
+      else Hashtbl.add seen k ())
+    pairs
 
 let of_report ?(phases = []) ?(extra = []) (r : Verifier.report) =
-  {
-    m_counters =
+  let counters =
       [
+        ("requests", r.Verifier.r_obs.Verifier.os_requests);
         ("events", r.Verifier.r_events);
         ("evaluations", r.Verifier.r_evaluations);
         ("events_queued", r.Verifier.r_obs.Verifier.os_queued);
@@ -40,7 +52,11 @@ let of_report ?(phases = []) ?(extra = []) (r : Verifier.report) =
         ("violations", List.length r.Verifier.r_violations);
         ("unasserted", List.length r.Verifier.r_unasserted);
       ]
-      @ extra;
+      @ extra
+  in
+  check_no_dup_keys counters;
+  {
+    m_counters = counters;
     m_flags = [ ("converged", r.Verifier.r_converged) ];
     m_kinds = r.Verifier.r_obs.Verifier.os_evals_by_kind;
     m_phases = phases;

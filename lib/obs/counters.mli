@@ -19,7 +19,7 @@ type metrics = {
 
 val schema_version : string
 (** The schema identifier written into every metrics document (the
-    [doc/metrics.schema.json] enum), e.g. ["scald-metrics/2"].  Exposed
+    [doc/metrics.schema.json] enum), e.g. ["scald-metrics/3"].  Exposed
     so service clients can negotiate against it ([scald_tv --metrics]
     prints it; the serve hello banner carries it). *)
 
@@ -31,8 +31,12 @@ val of_report :
 (** Extract every counter from a report; [phases] adds per-phase wall
     times (name, seconds) — pass [Obs.phase_seconds] or hand-timed
     figures.  [extra] appends additional flat integer counters (the
-    incremental service's [incr_*] family — see
-    [doc/metrics.schema.json] for the allowed names). *)
+    incremental service's [incr_*]/[svc_*]/[mem_*] families — see
+    [doc/metrics.schema.json] for the allowed names).
+
+    @raise Invalid_argument if any counter key appears twice (a
+    colliding [extra] would otherwise serialize as two identical JSON
+    fields — valid to some parsers, last-wins to others). *)
 
 val counter : metrics -> string -> int
 (** Value of a flat counter, 0 when absent. *)

@@ -1,0 +1,102 @@
+(* Mergeable log-bucketed histogram for latencies and sizes.
+
+   Buckets are geometric with ratio 2^(1/4) (four buckets per octave,
+   ~9% relative width), so the structure is a fixed 169-slot int array:
+   no allocation per [add], deterministic quantiles (a quantile depends
+   only on the multiset of bucket indices, never on insertion order or
+   timing), and [merge] is pointwise addition.  Bucket [i] covers
+   values in (2^((i-1)/4), 2^(i/4)]; bucket 0 absorbs everything <= 1,
+   the last bucket everything above 2^42 (~51 days in microseconds). *)
+
+let n_buckets = 169
+let bound i = Float.pow 2.0 (float_of_int i /. 4.0)
+
+(* 4 / ln 2: buckets per octave over the natural log the libm call
+   actually computes *)
+let inv_log2_4 = 4.0 /. Float.log 2.0
+
+let index v =
+  if v <= 1.0 then 0
+  else
+    let i = int_of_float (Float.ceil (inv_log2_4 *. Float.log v)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; sum = 0.0; vmin = 0.0; vmax = 0.0 }
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  let i = index v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  if t.count = 0 then begin
+    t.vmin <- v;
+    t.vmax <- v
+  end
+  else begin
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.vmin
+let max_value t = t.vmax
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else r
+    in
+    let rec walk i cum =
+      if i >= n_buckets then t.vmax
+      else
+        let cum = cum + t.buckets.(i) in
+        if cum >= rank then
+          (* Report the bucket's upper bound, clamped to the observed
+             range so p0/p100 are exact and a one-element histogram
+             returns the element itself. *)
+          let b = bound i in
+          if b < t.vmin then t.vmin else if b > t.vmax then t.vmax else b
+        else walk (i + 1) cum
+    in
+    walk 0 0
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i n -> t.buckets.(i) <- n + b.buckets.(i)) a.buckets;
+  t.count <- a.count + b.count;
+  t.sum <- a.sum +. b.sum;
+  (if a.count = 0 then begin
+     t.vmin <- b.vmin;
+     t.vmax <- b.vmax
+   end
+   else if b.count = 0 then begin
+     t.vmin <- a.vmin;
+     t.vmax <- a.vmax
+   end
+   else begin
+     t.vmin <- Float.min a.vmin b.vmin;
+     t.vmax <- Float.max a.vmax b.vmax
+   end);
+  t
+
+let clear t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.vmin <- 0.0;
+  t.vmax <- 0.0

@@ -14,6 +14,8 @@ let create ?clock ?(trace_buffer = 0) () =
 
 let profiler t = t.o_prof
 let ring t = t.o_ring
+let now_us t = Span.now_us t.o_prof
+let set_lane t lane = Span.set_lane t.o_prof lane
 
 let span t name f = Span.with_span t.o_prof name f
 
@@ -42,7 +44,7 @@ let phase_seconds t =
 let metrics ?extra t ~report =
   Counters.of_report ~phases:(phase_seconds t) ?extra report
 
-let write_profile ?process_name ?report t path =
+let write_profile ?process_name ?lanes ?report t path =
   let counters =
     match report with
     | None -> []
@@ -50,7 +52,7 @@ let write_profile ?process_name ?report t path =
       let m = Counters.of_report r in
       m.Counters.m_counters
   in
-  Trace_export.write_file ?process_name ~counters t.o_prof path
+  Trace_export.write_file ?process_name ?lanes ~counters t.o_prof path
 
 let write_metrics ?extra t ~report path =
   Counters.write_file (metrics ?extra t ~report) path

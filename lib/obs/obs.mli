@@ -26,6 +26,15 @@ val create : ?clock:(unit -> float) -> ?trace_buffer:int -> unit -> t
 val profiler : t -> Span.t
 val ring : t -> Causal.t option
 
+val now_us : t -> float
+(** The profiler's clock, µs since creation (see {!Span.now_us}) —
+    the serve loop times whole requests with it so deterministic test
+    clocks drive request latencies and spans together. *)
+
+val set_lane : t -> int -> unit
+(** Set the trace lane stamped on subsequent spans ({!Span.set_lane});
+    the serve daemon assigns one lane per request. *)
+
 val span : t -> string -> (unit -> 'a) -> 'a
 (** Record a top-level phase (parse, expand, report …) around [f]. *)
 
@@ -46,9 +55,15 @@ val metrics :
     {!Counters.of_report}). *)
 
 val write_profile :
-  ?process_name:string -> ?report:Scald_core.Verifier.report -> t -> string -> unit
+  ?process_name:string ->
+  ?lanes:(int * string) list ->
+  ?report:Scald_core.Verifier.report ->
+  t ->
+  string ->
+  unit
 (** Write the Chrome trace; when [report] is given its counters are
-    appended as counter-track samples. *)
+    appended as counter-track samples, and [lanes] names the per-lane
+    tracks (see {!Trace_export.to_json}). *)
 
 val write_metrics :
   ?extra:(string * int) list ->

@@ -3,19 +3,28 @@ type span = {
   s_ts_us : float;
   s_dur_us : float;
   s_depth : int;
+  s_lane : int;
 }
 
 type t = {
   clock : unit -> float;
   t0 : float;
   mutable depth : int;
+  mutable lane : int;
+  mutable n_completed : int;
   mutable completed : span list;  (* newest first *)
 }
 
 let create ?(clock = Unix.gettimeofday) () =
-  { clock; t0 = clock (); depth = 0; completed = [] }
+  { clock; t0 = clock (); depth = 0; lane = 0; n_completed = 0; completed = [] }
 
 let now_us t = (t.clock () -. t.t0) *. 1e6
+let set_lane t lane = t.lane <- lane
+let lane t = t.lane
+
+let record t s =
+  t.completed <- s :: t.completed;
+  t.n_completed <- t.n_completed + 1
 
 let with_span t name f =
   let start = now_us t in
@@ -23,9 +32,14 @@ let with_span t name f =
   t.depth <- depth + 1;
   let finish () =
     t.depth <- depth;
-    t.completed <-
-      { s_name = name; s_ts_us = start; s_dur_us = now_us t -. start; s_depth = depth }
-      :: t.completed
+    record t
+      {
+        s_name = name;
+        s_ts_us = start;
+        s_dur_us = now_us t -. start;
+        s_depth = depth;
+        s_lane = t.lane;
+      }
   in
   Fun.protect ~finally:finish f
 
@@ -33,10 +47,21 @@ let probe_span = with_span
 
 let mark t name =
   let ts = now_us t in
-  t.completed <-
-    { s_name = name; s_ts_us = ts; s_dur_us = 0.; s_depth = t.depth } :: t.completed
+  record t
+    { s_name = name; s_ts_us = ts; s_dur_us = 0.; s_depth = t.depth; s_lane = t.lane }
 
 let spans t = List.rev t.completed
+let n_completed t = t.n_completed
+
+(* The newest [k] completed spans, newest first.  O(k): lets a serve
+   loop consume exactly the spans one request produced without
+   re-reversing the whole (ever-growing) history per request. *)
+let recent t k =
+  let rec take acc n = function
+    | s :: rest when n > 0 -> take (s :: acc) (n - 1) rest
+    | _ -> List.rev acc
+  in
+  take [] k t.completed
 
 let total_us t name =
   List.fold_left

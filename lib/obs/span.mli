@@ -14,6 +14,10 @@ type span = {
   s_ts_us : float;  (** start, µs since profiler creation *)
   s_dur_us : float;  (** duration in µs *)
   s_depth : int;  (** nesting depth, 0 = top level *)
+  s_lane : int;
+      (** the profiler's {!lane} when the span completed; the serve
+          daemon sets one lane per request so {!Trace_export} renders
+          each request on its own track ([0] outside a request) *)
 }
 
 type t
@@ -21,6 +25,19 @@ type t
 val create : ?clock:(unit -> float) -> unit -> t
 (** A fresh profiler.  [clock] returns seconds; it need only be
     monotone non-decreasing. *)
+
+val now_us : t -> float
+(** Current clock reading, µs since profiler creation.  Exposed so the
+    serve loop can time whole requests on the {e same} (injectable)
+    clock its spans use — deterministic tests drive both at once. *)
+
+val set_lane : t -> int -> unit
+(** Set the lane stamped on subsequently completed spans.  The serve
+    daemon calls this at each request boundary; nested spans emitted
+    by [Session]/[Eval] during the request inherit it for free. *)
+
+val lane : t -> int
+(** The current lane (0 initially). *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] runs [f] inside a span.  The span is recorded
@@ -34,7 +51,17 @@ val mark : t -> string -> unit
 (** Record an instantaneous (zero-duration) span. *)
 
 val spans : t -> span list
-(** All completed spans, in order of completion time. *)
+(** All completed spans, in order of completion time.  O(total) — a
+    long-lived service consuming spans per request should use
+    {!n_completed} + {!recent} instead. *)
+
+val n_completed : t -> int
+(** Completed-span count, O(1).  Sample before and after a request;
+    the difference is how many spans the request produced. *)
+
+val recent : t -> int -> span list
+(** [recent t k] is the newest [k] completed spans, newest first, in
+    O(k) — the per-request consumption primitive. *)
 
 val total_us : t -> string -> float
 (** Summed duration of every completed span with the given name. *)

@@ -2,13 +2,14 @@ let esc = Counters.json_string
 
 let us x = Printf.sprintf "%.1f" x
 
-(* Complete ("X") events on one thread nest by containment, so a single
-   tid renders the phase tree correctly. *)
+(* Complete ("X") events on one thread nest by containment; the span's
+   lane is the tid, so each serve request renders on its own track
+   (lane 0 is the process-lifetime track for one-shot runs). *)
 let span_event ~pid (s : Span.span) =
   Printf.sprintf
     "{\"name\": %s, \"ph\": \"X\", \"ts\": %s, \"dur\": %s, \"pid\": %d, \"tid\": %d, \
      \"cat\": \"phase\"}"
-    (esc s.Span.s_name) (us s.Span.s_ts_us) (us s.Span.s_dur_us) pid 0
+    (esc s.Span.s_name) (us s.Span.s_ts_us) (us s.Span.s_dur_us) pid s.Span.s_lane
 
 let counter_event ~pid ~ts (name, value) =
   Printf.sprintf
@@ -22,7 +23,13 @@ let meta_event ~pid name =
      \"args\": {\"name\": %s}}"
     pid (esc name)
 
-let to_json ?(process_name = "scald_tv") ?(counters = []) prof =
+let thread_name_event ~pid (tid, name) =
+  Printf.sprintf
+    "{\"name\": \"thread_name\", \"ph\": \"M\", \"ts\": 0, \"dur\": 0, \"pid\": %d, \
+     \"tid\": %d, \"args\": {\"name\": %s}}"
+    pid tid (esc name)
+
+let to_json ?(process_name = "scald_tv") ?(lanes = []) ?(counters = []) prof =
   let pid = 1 in
   let spans = Span.spans prof in
   let t_end =
@@ -32,12 +39,13 @@ let to_json ?(process_name = "scald_tv") ?(counters = []) prof =
   in
   let events =
     meta_event ~pid process_name
-    :: List.map (span_event ~pid) spans
+    :: List.map (thread_name_event ~pid) lanes
+    @ List.map (span_event ~pid) spans
     @ List.map (counter_event ~pid ~ts:t_end) counters
   in
   "[\n  " ^ String.concat ",\n  " events ^ "\n]\n"
 
-let write_file ?process_name ?counters prof path =
+let write_file ?process_name ?lanes ?counters prof path =
   let oc = open_out_bin path in
-  output_string oc (to_json ?process_name ?counters prof);
+  output_string oc (to_json ?process_name ?lanes ?counters prof);
   close_out oc

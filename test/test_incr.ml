@@ -58,6 +58,72 @@ let test_json_int_printing () =
   Alcotest.(check string) "fractional floats keep their fraction" "{\"n\":7.25}"
     (Json.to_string (Json.Obj [ ("n", Json.Num 7.25) ]))
 
+let test_json_edge_cases () =
+  (match Json.parse {| "a\"b\\c\/d" |} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escape soup" "a\"b\\c/d" s
+  | _ -> Alcotest.fail "escaped string");
+  List.iter
+    (fun (src, expect) ->
+      match Json.parse src with
+      | Ok (Json.Num n) -> Alcotest.(check (float 1e-12)) src expect n
+      | _ -> Alcotest.failf "number %s" src)
+    [ ("1e3", 1000.0); ("1.5e-2", 0.015); ("-3E+2", -300.0); ("0.0625", 0.0625) ];
+  (* deep nesting parses and round-trips without blowing the stack *)
+  let depth = 200 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "7"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  (match Json.parse deep with
+  | Ok v -> Alcotest.(check string) "deep round-trip" deep (Json.to_string v)
+  | Error e -> Alcotest.failf "deep nesting rejected: %s" e);
+  (* truncation anywhere is an error, never an exception *)
+  List.iter
+    (fun src ->
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated %S rejected" src)
+        true
+        (Result.is_error (Json.parse src)))
+    [ "{\"a\":"; "[1,"; "\"ab"; "{\"a\""; "tru"; "nul"; "1e"; "-"; "[\"x\", "; "{" ]
+
+let gen_json =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        (* integral Num only: to_string prints integral floats as
+           integers, so fractional values would round-trip through a
+           different (equal-value) representation *)
+        map (fun i -> Json.Num (float_of_int i)) (int_range (-1000000) 1000000);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 8));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map (fun l -> Json.List l) (list_size (int_range 0 4) (node (depth - 1)))
+          );
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 0 6)) (node (depth - 1))))
+          );
+        ]
+  in
+  QCheck.make ~print:Json.to_string (node 3)
+
+let json_roundtrip_property =
+  prop ~count:200 "printed JSON parses back to the same value" gen_json (fun j ->
+      Json.parse (Json.to_string j) = Ok j)
+
 (* ---- a small deterministic circuit ----------------------------------------- *)
 
 (* IN0/IN1 -> U0 (AND) -> U1 (BUF) -> DATA, registered by U2 on CK with
@@ -444,6 +510,118 @@ let test_serve_matches_cli_listing () =
   Alcotest.(check string) "serve listing equals the cold CLI listing"
     (cold_listing cold) listing
 
+(* ---- serve telemetry ----------------------------------------------------------- *)
+
+(* each reading advances the clock by [step] seconds, so every span and
+   request duration is a pure function of the request sequence *)
+let ticking_clock step =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := !t +. step;
+    v
+
+let telemetry_script =
+  [
+    Json.to_string
+      (Json.Obj [ ("op", Json.Str "load"); ("source", Json.Str inline_source) ]);
+    {| {"op":"delta","edits":[{"edit":"wire_delay","signal":"B","min_ns":0,"max_ns":9}]} |};
+    {| {"op":"verify"} |};
+    {| {"op":"verify"} |};
+  ]
+
+let test_serve_health () =
+  let t = Serve.create () in
+  List.iter (fun line -> ignore (serve_req t line)) telemetry_script;
+  let h, cont = serve_req t {| {"op":"health"} |} in
+  Alcotest.(check bool) "loop continues" true cont;
+  Alcotest.(check (option bool)) "ok" (Some true) (jbool "ok" h);
+  Alcotest.(check (option string)) "op" (Some "health") (jstr "op" h);
+  Alcotest.(check (option int)) "requests" (Some 5) (jint "requests" h);
+  Alcotest.(check (option int)) "errors" (Some 0) (jint "errors" h);
+  Alcotest.(check (option int)) "sessions" (Some 1) (jint "sessions" h);
+  Alcotest.(check bool) "uptime present" true (jint "uptime_us" h <> None);
+  Alcotest.(check bool) "slow counter present" true (jint "slow_requests" h <> None);
+  Alcotest.(check bool) "hit rate present" true
+    (Option.bind (Json.member "cache_hit_rate" h) Json.num <> None);
+  Alcotest.(check bool) "bytes per primitive present" true
+    (Option.bind (Json.member "bytes_per_primitive" h) Json.num <> None);
+  (match Json.member "mem" h with
+  | Some mem ->
+    Alcotest.(check bool) "live heap words" true (Option.get (jint "heap_words" mem) > 0);
+    Alcotest.(check bool) "rss non-negative" true (Option.get (jint "peak_rss_kb" mem) >= 0);
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (k ^ " present") true (Json.member k mem <> None))
+      [ "minor_words"; "promoted_words"; "major_words"; "compactions" ]
+  | None -> Alcotest.fail "no mem object");
+  match Json.member "latency_us" h with
+  | Some lat ->
+    (* the script ran 1 load, 1 delta, 2 verifies; health itself is
+       timed after its response is built *)
+    Alcotest.(check (option int)) "load count" (Some 1)
+      (Option.bind (Json.member "load" lat) (jint "count"));
+    Alcotest.(check (option int)) "verify count" (Some 2)
+      (Option.bind (Json.member "verify" lat) (jint "count"));
+    Alcotest.(check bool) "health not yet timed" true (Json.member "health" lat = None);
+    List.iter
+      (fun q ->
+        Alcotest.(check bool) (q ^ " present") true
+          (Option.bind (Json.member "verify" lat) (fun v -> Json.member q v) <> None))
+      [ "p50_us"; "p90_us"; "p99_us"; "max_us" ]
+  | None -> Alcotest.fail "no latency_us object"
+
+let test_serve_deterministic_quantiles () =
+  let run_script () =
+    let t =
+      Serve.create ~obs:(Scald_obs.Obs.create ~clock:(ticking_clock 1e-4) ()) ()
+    in
+    List.iter (fun line -> ignore (serve_req t line)) telemetry_script;
+    let stats, _ = serve_req t {| {"op":"stats"} |} in
+    stats
+  in
+  let a = run_script () and b = run_script () in
+  let lat j = Option.get (Json.member "latency_us" j) in
+  Alcotest.(check bool) "identical runs, identical quantiles" true (lat a = lat b);
+  Alcotest.(check string) "identical serialization" (Json.to_string (lat a))
+    (Json.to_string (lat b));
+  (* a single observation reports itself at every quantile *)
+  match Json.member "load" (lat a) with
+  | Some load ->
+    let f q = Option.bind (Json.member q load) Json.num in
+    Alcotest.(check bool) "one load" true (jint "count" load = Some 1);
+    Alcotest.(check bool) "p50 = p99 = max for a single sample" true
+      (f "p50_us" = f "p99_us" && f "p99_us" = f "max_us" && f "max_us" <> None)
+  | None -> Alcotest.fail "no load latency"
+
+let test_serve_lanes_and_slow () =
+  let t =
+    Serve.create
+      ~obs:(Scald_obs.Obs.create ~clock:(ticking_clock 1e-4) ())
+      ~slow_ms:0.0 ()
+  in
+  List.iter (fun line -> ignore (serve_req t line)) telemetry_script;
+  ignore (serve_req t {| {"op":"stats"} |});
+  (* load/delta/verify produce spans, so each got a named trace lane;
+     stats does not *)
+  Alcotest.(check (list (pair int string))) "one lane per span-producing request"
+    [ (1, "r1:load"); (2, "r2:delta"); (3, "r3:verify"); (4, "r4:verify") ]
+    (Serve.lanes t);
+  let stats, _ = serve_req t {| {"op":"stats"} |} in
+  (* with a 0ms threshold and a strictly ticking clock, every finished
+     request is slow (the latest stats request is not yet counted) *)
+  Alcotest.(check (option int)) "all requests slow" (Some 5) (jint "slow_requests" stats);
+  let no_telem = Serve.create ~telemetry:false ~slow_ms:0.0 () in
+  List.iter (fun line -> ignore (serve_req no_telem line)) telemetry_script;
+  Alcotest.(check (list (pair int string))) "telemetry off: no lanes" []
+    (Serve.lanes no_telem);
+  let stats, _ = serve_req no_telem {| {"op":"stats"} |} in
+  Alcotest.(check (option int)) "telemetry off: nothing timed" (Some 0)
+    (jint "slow_requests" stats);
+  match Json.member "latency_us" stats with
+  | Some (Json.Obj []) -> ()
+  | _ -> Alcotest.fail "telemetry off: latency_us must be empty"
+
 (* ---- the bit-identity property ------------------------------------------------ *)
 
 (* Random acyclic gate networks (always convergent) feeding the
@@ -565,6 +743,8 @@ let suite =
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse" `Quick test_json_parse;
     Alcotest.test_case "json int printing" `Quick test_json_int_printing;
+    Alcotest.test_case "json edge cases" `Quick test_json_edge_cases;
+    json_roundtrip_property;
     Alcotest.test_case "fingerprint digest/skeleton" `Quick test_fingerprint_digest;
     Alcotest.test_case "fingerprint cones localize edits" `Quick test_fingerprint_cones;
     Alcotest.test_case "edit apply and diff" `Quick test_edit_apply_and_diff;
@@ -580,5 +760,10 @@ let suite =
     Alcotest.test_case "store warm/adopt/cold" `Quick test_store_warm_adopt_cold;
     Alcotest.test_case "serve protocol" `Quick test_serve_protocol;
     Alcotest.test_case "serve listing equals CLI" `Quick test_serve_matches_cli_listing;
+    Alcotest.test_case "serve health" `Quick test_serve_health;
+    Alcotest.test_case "serve deterministic quantiles" `Quick
+      test_serve_deterministic_quantiles;
+    Alcotest.test_case "serve lanes and slow requests" `Quick
+      test_serve_lanes_and_slow;
     bit_identity_property;
   ]

@@ -416,6 +416,168 @@ let test_json_string_escaping () =
   Alcotest.(check string) "control" "\"\\u0001\"" (Counters.json_string "\x01");
   Alcotest.(check bool) "result parses" true (json_ok (Counters.json_string "a\"b\\c\nd\x01"))
 
+(* ---- latency histograms ---------------------------------------------------- *)
+
+let test_hist_buckets () =
+  Alcotest.(check int) "<=1 lands in bucket 0" 0 (Hist.index 0.5);
+  Alcotest.(check int) "1.0 lands in bucket 0" 0 (Hist.index 1.0);
+  Alcotest.(check (float 1e-9)) "bound 0" 1.0 (Hist.bound 0);
+  Alcotest.(check (float 1e-9)) "bound 4 is an octave" 2.0 (Hist.bound 4);
+  (* the bucket invariant: every value is at most its bucket's upper
+     bound, and above the previous bucket's *)
+  List.iter
+    (fun v ->
+      let i = Hist.index v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g <= bound %d" v i)
+        true
+        (v <= Hist.bound i +. 1e-9);
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%g > bound %d" v (i - 1))
+          true
+          (v > Hist.bound (i - 1) -. 1e-9))
+    [ 1.5; 2.0; 3.0; 10.0; 1000.0; 12345.678; 1.0e9 ];
+  (* index is monotone over a sweep *)
+  let last = ref (-1) in
+  for k = 1 to 400 do
+    let i = Hist.index (float_of_int k *. 7.3) in
+    Alcotest.(check bool) "monotone" true (i >= !last);
+    last := i
+  done
+
+let test_hist_exact_stats () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Hist.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Hist.quantile h 0.5);
+  List.iter (Hist.add h) [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ];
+  Alcotest.(check int) "count" 8 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "sum exact" 31.0 (Hist.sum h);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max exact" 9.0 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" (31.0 /. 8.0) (Hist.mean h);
+  Hist.clear h;
+  Alcotest.(check int) "cleared" 0 (Hist.count h);
+  Alcotest.(check (float 0.0)) "cleared sum" 0.0 (Hist.sum h)
+
+let test_hist_quantiles () =
+  (* insertion order never changes a quantile *)
+  let values = List.init 100 (fun i -> float_of_int (i + 1) *. 37.0) in
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) values;
+  List.iter (Hist.add b) (List.rev values);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%g order-independent" q)
+        (Hist.quantile a q) (Hist.quantile b q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  (* bounded relative error: the estimate is the bucket's upper bound,
+     so it sits within [true, true * 2^(1/4)] *)
+  let true_p50 = 50.0 *. 37.0 in
+  let est = Hist.quantile a 0.5 in
+  Alcotest.(check bool) "p50 >= true" true (est >= true_p50 -. 1e-9);
+  Alcotest.(check bool) "p50 within one bucket" true
+    (est <= true_p50 *. Float.pow 2.0 0.25 +. 1e-9);
+  Alcotest.(check (float 1e-9)) "p100 is the max exactly" (100.0 *. 37.0)
+    (Hist.quantile a 1.0);
+  (* a one-element histogram reports the element at every quantile *)
+  let one = Hist.create () in
+  Hist.add one 1234.5;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single element q=%g" q)
+        1234.5 (Hist.quantile one q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () and whole = Hist.create () in
+  let va = [ 10.0; 20.0; 30.0 ] and vb = [ 5.0; 40.0; 80.0; 160.0 ] in
+  List.iter (Hist.add a) va;
+  List.iter (Hist.add b) vb;
+  List.iter (Hist.add whole) (va @ vb);
+  let m = Hist.merge a b in
+  Alcotest.(check int) "count adds" 7 (Hist.count m);
+  Alcotest.(check (float 1e-9)) "sum adds" (Hist.sum whole) (Hist.sum m);
+  Alcotest.(check (float 1e-9)) "min combines" 5.0 (Hist.min_value m);
+  Alcotest.(check (float 1e-9)) "max combines" 160.0 (Hist.max_value m);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "merged quantile q=%g" q)
+        (Hist.quantile whole q) (Hist.quantile m q))
+    [ 0.25; 0.5; 0.75; 1.0 ];
+  Alcotest.(check int) "arguments untouched" 3 (Hist.count a);
+  let e = Hist.merge (Hist.create ()) b in
+  Alcotest.(check (float 1e-9)) "empty merge keeps min" 5.0 (Hist.min_value e)
+
+(* ---- resource accounting --------------------------------------------------- *)
+
+let test_mem_sample () =
+  let s = Mem.sample () in
+  Alcotest.(check bool) "heap words positive" true (s.Mem.mem_heap_words > 0);
+  Alcotest.(check bool) "minor words non-negative" true
+    (s.Mem.mem_minor_words >= 0.0);
+  Alcotest.(check bool) "compactions non-negative" true
+    (s.Mem.mem_compactions >= 0);
+  Alcotest.(check bool) "rss non-negative" true (s.Mem.mem_peak_rss_kb >= 0);
+  let carried = Mem.sample ~peak_rss_kb:4321 () in
+  Alcotest.(check int) "rss carried forward" 4321 carried.Mem.mem_peak_rss_kb;
+  Alcotest.(check int) "zero placeholder" 0 Mem.zero.Mem.mem_heap_words
+
+(* ---- trace lanes ----------------------------------------------------------- *)
+
+let test_span_lanes () =
+  let clock, tick = fake_clock () in
+  let prof = Span.create ~clock () in
+  Alcotest.(check int) "lane starts at 0" 0 (Span.lane prof);
+  Span.with_span prof "boot" (fun () -> tick 0.001);
+  Span.set_lane prof 3;
+  Span.with_span prof "outer" (fun () ->
+      tick 0.001;
+      Span.with_span prof "inner" (fun () -> tick 0.001));
+  Span.set_lane prof 0;
+  Alcotest.(check int) "three spans complete" 3 (Span.n_completed prof);
+  (match Span.recent prof 2 with
+  | [ newest; older ] ->
+    Alcotest.(check string) "newest last-completed" "outer" newest.Span.s_name;
+    Alcotest.(check string) "then inner" "inner" older.Span.s_name;
+    Alcotest.(check int) "request spans stamped" 3 newest.Span.s_lane;
+    Alcotest.(check int) "nested span inherits lane" 3 older.Span.s_lane
+  | l -> Alcotest.failf "expected 2 recent spans, got %d" (List.length l));
+  (match Span.spans prof with
+  | boot :: _ -> Alcotest.(check int) "pre-request span on lane 0" 0 boot.Span.s_lane
+  | [] -> Alcotest.fail "no spans");
+  let json = Trace_export.to_json ~lanes:[ (3, "r3:verify") ] prof in
+  Alcotest.(check bool) "valid json" true (json_ok json);
+  Alcotest.(check bool) "lane becomes tid" true (contains json "\"tid\": 3");
+  Alcotest.(check bool) "thread_name metadata" true
+    (contains json "\"thread_name\"");
+  Alcotest.(check bool) "lane named" true (contains json "\"r3:verify\"")
+
+(* ---- metrics/3: requests counter and duplicate-key rejection ---------------- *)
+
+let test_metrics_requests_and_dups () =
+  Alcotest.(check string) "schema id" "scald-metrics/3" Counters.schema_version;
+  let nl = two_buf_circuit () in
+  let report = Verifier.verify nl in
+  let m = Counters.of_report report in
+  Alcotest.(check int) "one-shot run reports 0 requests" 0
+    (Counters.counter m "requests");
+  Alcotest.(check bool) "requests serialized" true
+    (contains (Counters.to_json m) "\"requests\"");
+  Alcotest.(check bool) "schema id serialized" true
+    (contains (Counters.to_json m) "scald-metrics/3");
+  let m = Counters.of_report ~extra:[ ("incr_requests", 7) ] report in
+  Alcotest.(check int) "extra appended" 7 (Counters.counter m "incr_requests");
+  Alcotest.check_raises "extra colliding with a builtin"
+    (Invalid_argument "Counters.of_report: duplicate key \"events\"") (fun () ->
+      ignore (Counters.of_report ~extra:[ ("events", 1) ] report));
+  Alcotest.check_raises "extra colliding with itself"
+    (Invalid_argument "Counters.of_report: duplicate key \"svc_x\"") (fun () ->
+      ignore (Counters.of_report ~extra:[ ("svc_x", 1); ("svc_x", 2) ] report))
+
 (* ---- the underconstrained example (acceptance shape) ----------------------- *)
 
 let read_file path =
@@ -453,5 +615,13 @@ let suite =
     Alcotest.test_case "metrics-json" `Quick test_metrics_json;
     Alcotest.test_case "trace-json" `Quick test_trace_json;
     Alcotest.test_case "json-string-escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "hist-buckets" `Quick test_hist_buckets;
+    Alcotest.test_case "hist-exact-stats" `Quick test_hist_exact_stats;
+    Alcotest.test_case "hist-quantiles" `Quick test_hist_quantiles;
+    Alcotest.test_case "hist-merge" `Quick test_hist_merge;
+    Alcotest.test_case "mem-sample" `Quick test_mem_sample;
+    Alcotest.test_case "span-lanes" `Quick test_span_lanes;
+    Alcotest.test_case "metrics-requests-and-dups" `Quick
+      test_metrics_requests_and_dups;
     Alcotest.test_case "underconstrained-explain" `Quick test_underconstrained_explain;
   ]

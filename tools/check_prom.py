@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-format (0.0.4) exposition file.
+
+Usage: check_prom.py METRICS.txt
+
+Checks what `scald_tv serve --prom FILE` promises to emit — and what a
+scrape would actually reject — with no third-party dependencies, so it
+runs on a bare CI python3:
+
+  - metric and label names match the Prometheus grammar
+  - every sample line parses: name, optional {labels}, float value
+  - label values use only the defined escapes (\\\\, \\", \\n)
+  - every family has a # HELP and a # TYPE (counter or gauge) before
+    its first sample, each at most once
+  - no duplicate samples (same name and label set)
+  - no stray text outside comments and samples
+
+Exits 0 on success, 1 with a line-qualified message per failure.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(text, lineno, errors):
+    """Parse the inside of {...}; returns a sorted tuple of (k, v) pairs."""
+    pairs = []
+    i = 0
+    n = len(text)
+    while i < n:
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[i:])
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax at ...{text[i:]!r}")
+            return tuple(pairs)
+        name = m.group(1)
+        i += m.end()
+        value = []
+        closed = False
+        while i < n:
+            c = text[i]
+            if c == "\\":
+                if i + 1 < n and text[i + 1] in ('\\', '"', 'n'):
+                    value.append(text[i:i + 2])
+                    i += 2
+                else:
+                    errors.append(f"line {lineno}: bad escape in label {name!r}")
+                    i += 1
+            elif c == '"':
+                closed = True
+                i += 1
+                break
+            else:
+                value.append(c)
+                i += 1
+        if not closed:
+            errors.append(f"line {lineno}: unterminated label value for {name!r}")
+            return tuple(pairs)
+        pairs.append((name, "".join(value)))
+        if i < n:
+            if text[i] == ",":
+                i += 1
+            else:
+                errors.append(f"line {lineno}: expected ',' between labels, got {text[i]!r}")
+                return tuple(pairs)
+    return tuple(sorted(pairs))
+
+
+def family_of(name):
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    path = sys.argv[1]
+    errors = []
+    helped = set()
+    typed = set()
+    seen_samples = set()
+    sampled = []  # (family, lineno) in order, to check HELP/TYPE precede
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                rest = line[len("# HELP "):]
+                name = rest.split(" ", 1)[0]
+                if not METRIC_NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name in HELP: {name!r}")
+                if name in helped:
+                    errors.append(f"line {lineno}: duplicate HELP for {name!r}")
+                helped.add(name)
+                continue
+            if line.startswith("# TYPE "):
+                rest = line[len("# TYPE "):]
+                parts = rest.split(" ")
+                if len(parts) != 2:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                name, typ = parts
+                if not METRIC_NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name in TYPE: {name!r}")
+                if typ not in TYPES:
+                    errors.append(f"line {lineno}: unknown type {typ!r} for {name!r}")
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+                typed.add(name)
+                continue
+            if line.startswith("#"):
+                continue  # other comments are legal and ignored
+            m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)( \d+)?$", line)
+            if not m:
+                errors.append(f"line {lineno}: not a valid sample line: {line!r}")
+                continue
+            name, _, labels_text, value = m.group(1), m.group(2), m.group(3), m.group(4)
+            labels = parse_labels(labels_text, lineno, errors) if labels_text else ()
+            for lname, _ in labels:
+                if not LABEL_NAME.match(lname):
+                    errors.append(f"line {lineno}: bad label name {lname!r}")
+            if value not in ("+Inf", "-Inf", "NaN"):
+                try:
+                    float(value)
+                except ValueError:
+                    errors.append(f"line {lineno}: bad sample value {value!r}")
+            key = (name, labels)
+            if key in seen_samples:
+                errors.append(f"line {lineno}: duplicate sample {name}{dict(labels)!r}")
+            seen_samples.add(key)
+            sampled.append((family_of(name), lineno))
+    for family, lineno in sampled:
+        if family not in helped:
+            errors.append(f"line {lineno}: sample of {family!r} has no # HELP")
+        if family not in typed:
+            errors.append(f"line {lineno}: sample of {family!r} has no # TYPE")
+    if not sampled:
+        errors.append("no samples found")
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{path}: valid Prometheus exposition, "
+          f"{len(seen_samples)} samples in {len(helped)} families")
+
+
+if __name__ == "__main__":
+    main()
