@@ -29,7 +29,10 @@ let of_string s =
 let of_string_exn s =
   match of_string s with Ok t -> t | Error e -> invalid_arg ("Directive.of_string: " ^ e)
 
-let to_string t = String.init (List.length t) (fun i -> char_of_letter (List.nth t i))
+let to_string t =
+  let b = Bytes.create (List.length t) in
+  List.iteri (fun i l -> Bytes.unsafe_set b i (char_of_letter l)) t;
+  Bytes.unsafe_to_string b
 
 let zero_wire = function W | Z | H -> true | E | A -> false
 

@@ -44,7 +44,7 @@ type t = {
   mutable queue_len : int;  (* items queued across all buckets *)
   mutable scc_evals : int array;  (* per cyclic component: evals this run *)
   mutable diverged_slot : int;  (* cyclic slot that blew its budget, -1 none *)
-  in_queue : bool array;
+  in_queue : Bytes.t;  (* packed booleans, one byte per instance *)
   case : Tvalue.t option array;
   (* Generation-stamped input cache: [conn_base.(i) + k] is the flat
      index of input [k] of instance [i]; the cached waveform is valid
@@ -52,6 +52,13 @@ type t = {
   conn_base : int array;
   cache_gen : int array;
   cache_wf : Waveform.t array;
+  (* Per-net memo backing the per-conn cache: for the common
+     untransformed connection (no inversion, no explicit directive) the
+     derived input waveform depends only on the driving net, so every
+     such conn of one net shares a single record per generation instead
+     of allocating its own. *)
+  net_gen : int array;
+  net_wf : Waveform.t array;
   (* Register data-materialization memo, same generation key. *)
   mat_gen : int array;
   mat_wf : Waveform.t array;
@@ -61,7 +68,7 @@ type t = {
      proved inert are frozen after the first run and skipped at enqueue
      time.  [frozen] stays all-false without a [flow] table. *)
   flow : Flow.t option;
-  frozen : bool array;
+  frozen : Bytes.t;  (* packed booleans, one byte per instance *)
   mutable froze : bool;
   mutable pruned_evals : int;
   mutable requests : int;
@@ -105,17 +112,19 @@ let create ?(mode = Level) ?sched ?flow nl =
     queue_len = 0;
     scc_evals;
     diverged_slot = -1;
-    in_queue = Array.make (max 1 n_insts) false;
+    in_queue = Bytes.make (max 1 n_insts) '\000';
     case = Array.make (max 1 (Netlist.n_nets nl)) None;
     conn_base;
     cache_gen = Array.make (max 1 !n_conns) (-1);
     cache_wf = Array.make (max 1 !n_conns) dummy_wf;
+    net_gen = Array.make (max 1 (Netlist.n_nets nl)) (-1);
+    net_wf = Array.make (max 1 (Netlist.n_nets nl)) dummy_wf;
     mat_gen = Array.make (max 1 n_insts) (-1);
     mat_wf = Array.make (max 1 n_insts) dummy_wf;
     cache_hits = 0;
     cache_misses = 0;
     flow;
-    frozen = Array.make (max 1 n_insts) false;
+    frozen = Bytes.make (max 1 n_insts) '\000';
     froze = false;
     pruned_evals = 0;
     requests = 0;
@@ -316,15 +325,15 @@ let ensure_sched t =
     end
 
 let enqueue t inst_id =
-  if t.frozen.(inst_id) then
+  if Bytes.unsafe_get t.frozen inst_id <> '\000' then
     (* a frozen instance is never on the work list, so every skipped
        request is exactly one avoided evaluation *)
     t.pruned_evals <- t.pruned_evals + 1
   else begin
     t.queued <- t.queued + 1;
-    if t.in_queue.(inst_id) then t.coalesced <- t.coalesced + 1
+    if Bytes.unsafe_get t.in_queue inst_id <> '\000' then t.coalesced <- t.coalesced + 1
     else begin
-      t.in_queue.(inst_id) <- true;
+      Bytes.unsafe_set t.in_queue inst_id '\001';
       (match t.mode with
       | Fifo -> Queue.add inst_id t.queue
       | Level ->
@@ -337,13 +346,13 @@ let enqueue t inst_id =
   end
 
 let enqueue_fanout t net_id =
-  List.iter (enqueue t) (Netlist.net t.nl net_id).n_fanout
+  Netlist.iter_fanout (Netlist.net t.nl net_id) (enqueue t)
 
 (* Drop all pending work, resetting the in-queue flags so a later
    (incremental) run starts from a consistent work list. *)
 let clear_work t =
   let drop q =
-    Queue.iter (fun id -> t.in_queue.(id) <- false) q;
+    Queue.iter (fun id -> Bytes.unsafe_set t.in_queue id '\000') q;
     Queue.clear q
   in
   (match t.mode with
@@ -396,10 +405,33 @@ let input_waveform t (inst : Netlist.inst) i =
   end
   else begin
     t.cache_misses <- t.cache_misses + 1;
-    let letter = head_letter (effective_directive t inst i) in
-    let wf = n.n_value in
-    let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
-    let wf = if Directive.zero_wire letter then wf else apply_delay (wire_delay_of t n) wf in
+    let wf =
+      if (not c.c_invert) && c.c_directive = [] then begin
+        (* Untransformed connection: the result is a function of the
+           net alone, so all such conns share one record per
+           generation (the per-conn stamps and hit/miss accounting
+           are unchanged — only the allocation is shared). *)
+        if t.net_gen.(c.c_net) = n.n_gen then t.net_wf.(c.c_net)
+        else begin
+          let letter = head_letter n.n_eval_str in
+          let wf = n.n_value in
+          let wf =
+            if Directive.zero_wire letter then wf
+            else apply_delay (wire_delay_of t n) wf
+          in
+          t.net_gen.(c.c_net) <- n.n_gen;
+          t.net_wf.(c.c_net) <- wf;
+          wf
+        end
+      end
+      else begin
+        let letter = head_letter (effective_directive t inst i) in
+        let wf = n.n_value in
+        let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
+        if Directive.zero_wire letter then wf
+        else apply_delay (wire_delay_of t n) wf
+      end
+    in
     t.cache_gen.(idx) <- n.n_gen;
     t.cache_wf.(idx) <- wf;
     wf
@@ -723,7 +755,7 @@ let fixpoint t =
         | None -> ()
         | Some id ->
           t.queue_len <- t.queue_len - 1;
-          t.in_queue.(id) <- false;
+          Bytes.unsafe_set t.in_queue id '\000';
           eval_inst t id;
           loop ()
     in
@@ -743,7 +775,7 @@ let fixpoint t =
         | None -> ()
         | Some id ->
           t.queue_len <- t.queue_len - 1;
-          t.in_queue.(id) <- false;
+          Bytes.unsafe_set t.in_queue id '\000';
           let slot = Sched.cyclic_slot s id in
           if slot < 0 then begin
             eval_inst t id;
@@ -804,7 +836,7 @@ let run ?(case = []) t =
   | Some f when not t.froze ->
     t.froze <- true;
     for id = 0 to Netlist.n_insts t.nl - 1 do
-      if Flow.prunable f id then t.frozen.(id) <- true
+      if Flow.prunable f id then Bytes.unsafe_set t.frozen id '\001'
     done
   | Some _ | None -> ()
 
@@ -842,7 +874,7 @@ let reassert_net t net_id =
    freezing them is the cross-run analogue of Flow pruning. *)
 let refreeze t ~active =
   for id = 0 to Netlist.n_insts t.nl - 1 do
-    t.frozen.(id) <- not (active id)
+    Bytes.unsafe_set t.frozen id (if active id then '\000' else '\001')
   done;
   t.froze <- true
 

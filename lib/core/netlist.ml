@@ -15,7 +15,8 @@ type net = {
   mutable n_assertion : Assertion.t option;
   mutable n_wire_delay : Delay.t option;
   mutable n_driver : int option;
-  mutable n_fanout : int list;
+  mutable n_fanout : int array;
+  mutable n_fanout_n : int;
   mutable n_value : Waveform.t;
   mutable n_eval_str : Directive.t;
   mutable n_gen : int;
@@ -30,6 +31,14 @@ type t = {
   mutable insts : inst array;
   mutable n_insts : int;
   by_name : (string, int) Hashtbl.t;
+  unknown : Waveform.t;
+      (* the one all-Unknown waveform every net starts from; waveforms
+         are immutable, so sharing it across nets is safe and saves a
+         per-net allocation at scale *)
+  prim_cache : (Primitive.t, Primitive.t) Hashtbl.t;
+      (* structural interning of primitives: large designs instantiate a
+         handful of distinct (kind, delay) characterizations millions of
+         times, so [add] stores one canonical block per distinct value *)
 }
 
 let create ?(defaults = Assertion.s1_defaults) ?(default_wire_delay = Delay.of_ns 0.0 2.0) tb =
@@ -42,6 +51,8 @@ let create ?(defaults = Assertion.s1_defaults) ?(default_wire_delay = Delay.of_n
     insts = [||];
     n_insts = 0;
     by_name = Hashtbl.create 64;
+    unknown = Waveform.const ~period:(Timebase.period tb) Tvalue.Unknown;
+    prim_cache = Hashtbl.create 64;
   }
 
 let timebase t = t.tb
@@ -51,7 +62,56 @@ let default_wire_delay t = t.default_wire
 let grow arr n dummy = if n < Array.length arr then arr else
   Array.append arr (Array.make (max 16 (Array.length arr)) dummy)
 
-let dummy_net tb =
+(* ---- packed fanout ---------------------------------------------------- *)
+
+(* Fanout lives in a per-net packed int buffer with amortized-doubling
+   appends; only the first [n_fanout_n] entries are valid.  The former
+   representation was a head-pushed [int list] (most-recent-first), so
+   [iter_fanout]/[fanout] walk the buffer backwards to preserve the
+   historical iteration order exactly — evaluation queue order, and with
+   it report order, depends on it. *)
+
+let fanout_count n = n.n_fanout_n
+
+let iter_fanout n f =
+  for i = n.n_fanout_n - 1 downto 0 do
+    f n.n_fanout.(i)
+  done
+
+let fold_fanout n acc f =
+  let r = ref acc in
+  for i = n.n_fanout_n - 1 downto 0 do
+    r := f !r n.n_fanout.(i)
+  done;
+  !r
+
+let fanout n = List.init n.n_fanout_n (fun i -> n.n_fanout.(n.n_fanout_n - 1 - i))
+
+let fanout_array n = Array.init n.n_fanout_n (fun i -> n.n_fanout.(n.n_fanout_n - 1 - i))
+
+let fanout_mem n id =
+  let rec go i = i < n.n_fanout_n && (n.n_fanout.(i) = id || go (i + 1)) in
+  go 0
+
+let push_fanout n id =
+  (* Instance ids only grow and one instance's connections are recorded
+     together, so any duplicate of [id] (one instance reading a net on
+     several inputs) was itself appended during the same [add] call and
+     therefore sits in the tail slot: the O(1) check is a complete dedup,
+     not a heuristic. *)
+  if n.n_fanout_n > 0 && n.n_fanout.(n.n_fanout_n - 1) = id then ()
+  else begin
+    if n.n_fanout_n >= Array.length n.n_fanout then begin
+      let cap = max 2 (2 * Array.length n.n_fanout) in
+      let fresh = Array.make cap (-1) in
+      Array.blit n.n_fanout 0 fresh 0 n.n_fanout_n;
+      n.n_fanout <- fresh
+    end;
+    n.n_fanout.(n.n_fanout_n) <- id;
+    n.n_fanout_n <- n.n_fanout_n + 1
+  end
+
+let dummy_net t =
   {
     n_id = -1;
     n_name = "";
@@ -59,14 +119,15 @@ let dummy_net tb =
     n_assertion = None;
     n_wire_delay = None;
     n_driver = None;
-    n_fanout = [];
-    n_value = Waveform.const ~period:(Timebase.period tb) Tvalue.Unknown;
+    n_fanout = [||];
+    n_fanout_n = 0;
+    n_value = t.unknown;
     n_eval_str = [];
     n_gen = 0;
   }
 
 let add_net t ~name ~width ~assertion =
-  t.nets <- grow t.nets t.n_nets (dummy_net t.tb);
+  t.nets <- grow t.nets t.n_nets (dummy_net t);
   let id = t.n_nets in
   let n =
     {
@@ -76,8 +137,9 @@ let add_net t ~name ~width ~assertion =
       n_assertion = assertion;
       n_wire_delay = None;
       n_driver = None;
-      n_fanout = [];
-      n_value = Waveform.const ~period:(Timebase.period t.tb) Tvalue.Unknown;
+      n_fanout = [||];
+      n_fanout_n = 0;
+      n_value = t.unknown;
       n_eval_str = [];
       n_gen = 0;
     }
@@ -125,7 +187,15 @@ let dummy_inst =
   { i_id = -1; i_name = ""; i_prim = Primitive.Buf { invert = false; delay = Delay.zero };
     i_inputs = [||]; i_output = None }
 
+let intern_prim t prim =
+  match Hashtbl.find_opt t.prim_cache prim with
+  | Some p -> p
+  | None ->
+    Hashtbl.add t.prim_cache prim prim;
+    prim
+
 let add t ?name prim ~inputs ~output =
+  let prim = intern_prim t prim in
   let expected = Primitive.n_inputs prim in
   if List.length inputs <> expected then
     invalid_arg
@@ -151,25 +221,25 @@ let add t ?name prim ~inputs ~output =
         (Printf.sprintf "Netlist.add: net %s already driven by %s" n.n_name
            t.insts.(other).i_name)
     | None -> n.n_driver <- Some id));
-  (* An instance's connections arrive together and instance ids only
-     grow, so a duplicate (one instance reading a net on several inputs)
-     can only sit at the head of the fanout list — a head check keeps
-     wide-fanout construction linear where the old [List.mem] walk made
-     it quadratic. *)
-  List.iter
-    (fun c ->
-      let n = t.nets.(c.c_net) in
-      match n.n_fanout with
-      | prev :: _ when prev = id -> ()
-      | _ -> n.n_fanout <- id :: n.n_fanout)
-    inputs;
+  List.iter (fun c -> push_fanout t.nets.(c.c_net) id) inputs;
   t.insts.(id) <- i;
   t.n_insts <- t.n_insts + 1;
   i
 
+let trim t =
+  if Array.length t.nets > t.n_nets then t.nets <- Array.sub t.nets 0 t.n_nets;
+  if Array.length t.insts > t.n_insts then t.insts <- Array.sub t.insts 0 t.n_insts;
+  for i = 0 to t.n_nets - 1 do
+    let n = t.nets.(i) in
+    if Array.length n.n_fanout > n.n_fanout_n then
+      n.n_fanout <- Array.sub n.n_fanout 0 n.n_fanout_n
+  done
+
 (* Net records carry the mutable evaluation state (n_value, n_eval_str),
-   so a copy gets fresh records; instance records and waveforms are
-   immutable after construction and safely shared across domains. *)
+   so a copy gets fresh records; instance records, waveforms and the
+   packed fanout buffers are immutable after construction and safely
+   shared across domains (copies must not be taken while the netlist is
+   still being extended with [add]). *)
 let copy t =
   {
     t with

@@ -29,7 +29,12 @@ type net = {
   mutable n_wire_delay : Delay.t option;
       (** overrides the default interconnection delay when set *)
   mutable n_driver : int option;
-  mutable n_fanout : int list;
+  mutable n_fanout : int array;
+      (** packed fanout buffer with amortized-doubling appends; only the
+          first [n_fanout_n] entries are valid — read through
+          {!fanout_count}, {!iter_fanout}, {!fold_fanout} or {!fanout}
+          rather than indexing the raw buffer *)
+  mutable n_fanout_n : int;
   mutable n_value : Waveform.t;
   mutable n_eval_str : Directive.t;
       (** evaluation string carried by the signal value, consumed one
@@ -85,6 +90,11 @@ val add : t -> ?name:string -> Primitive.t -> inputs:conn list -> output:int opt
     primitive, if a checker is given an output, if a non-checker lacks
     one, or if the output net already has a driver. *)
 
+val trim : t -> unit
+(** Shrink the growable arenas (net/instance arrays, per-net fanout
+    buffers) to their exact sizes, releasing the doubling slack.  Called
+    once after bulk construction; further {!add}s regrow as needed. *)
+
 val copy : t -> t
 (** A structural copy with fresh net records, for evaluating the same
     circuit on several domains at once: net ids, instance ids and names
@@ -96,6 +106,31 @@ val net : t -> int -> net
 val inst : t -> int -> inst
 val find : t -> string -> int option
 (** Look up a net by base name. *)
+
+(** {2 Fanout access}
+
+    Fanout is stored as a packed int buffer per net.  All four accessors
+    present it in the same most-recent-first order as the former list
+    representation, which evaluation-queue order (and hence report
+    order) depends on. *)
+
+val fanout_count : net -> int
+(** Number of distinct instances reading the net, O(1). *)
+
+val iter_fanout : net -> (int -> unit) -> unit
+(** Apply a function to each fanout instance id, without allocating. *)
+
+val fold_fanout : net -> 'a -> ('a -> int -> 'a) -> 'a
+
+val fanout : net -> int list
+(** The fanout as a fresh list — convenient for one-shot listings and
+    tests; use {!iter_fanout}/{!fold_fanout} inside loops. *)
+
+val fanout_array : net -> int array
+(** The fanout as a fresh array, same order as {!fanout}. *)
+
+val fanout_mem : net -> int -> bool
+(** Whether the given instance id reads the net (linear scan). *)
 
 val find_inst : t -> string -> int option
 (** Look up an instance by name (linear scan; first registered wins). *)

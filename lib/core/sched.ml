@@ -16,7 +16,7 @@ let successors nl =
   Netlist.iter_insts nl (fun i ->
       match i.Netlist.i_output with
       | None -> ()
-      | Some o -> succs.(i.Netlist.i_id) <- Array.of_list (Netlist.net nl o).Netlist.n_fanout);
+      | Some o -> succs.(i.Netlist.i_id) <- Netlist.fanout_array (Netlist.net nl o));
   succs
 
 let compute nl =

@@ -44,8 +44,11 @@ let storage_of nl =
       strings := !strings + String.length i.i_name + 1);
   Netlist.iter_nets nl (fun n ->
       (* One value list is stored per bit of a signal vector (§3.3.2:
-         33 152 value lists for the 6 357-chip example). *)
-      let n_records = List.length (Waveform.segments n.n_value) in
+         33 152 value lists for the 6 357-chip example).  Segment and
+         fanout counts are O(1) on the packed representation; each is
+         read once per net. *)
+      let n_records = Waveform.n_segments n.n_value in
+      let n_fan = Netlist.fanout_count n in
       values :=
         !values
         + (n.n_width
@@ -54,11 +57,11 @@ let storage_of nl =
       names :=
         !names
         + (n.n_width * field)
-        + (field * (1 + List.length n.n_fanout))
+        + (field * (1 + n_fan))
         + (2 * field);
       strings := !strings + String.length n.n_name + 1;
       (* The call list records, per bit, which primitives to re-evaluate. *)
-      call_list := !call_list + (n.n_width * field * List.length n.n_fanout));
+      call_list := !call_list + (n.n_width * field * n_fan));
   let subtotal = !circuit + !values + !names + !strings + !call_list in
   {
     circuit_description = !circuit;
@@ -78,7 +81,7 @@ let value_records_per_signal nl =
   let count = ref 0 and nets = ref 0 in
   Netlist.iter_nets nl (fun n ->
       incr nets;
-      count := !count + List.length (Waveform.segments n.n_value));
+      count := !count + Waveform.n_segments n.n_value);
   if !nets = 0 then 0. else float_of_int !count /. float_of_int !nets
 
 let bytes_per_signal_value nl =
@@ -88,7 +91,7 @@ let bytes_per_signal_value nl =
       bytes :=
         !bytes
         + (value_base_fields * field)
-        + (List.length (Waveform.segments n.n_value) * value_record_fields * field));
+        + (Waveform.n_segments n.n_value * value_record_fields * field));
   if !nets = 0 then 0. else float_of_int !bytes /. float_of_int !nets
 
 let bytes_per_primitive s ~n_primitives =

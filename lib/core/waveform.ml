@@ -1,15 +1,56 @@
+(* Contiguous-buffer representation: a waveform's segments live in one
+   int array, each entry packing the segment's value (low 3 bits) with
+   its cumulative start offset (upper bits).  [start 0 = 0] always;
+   widths are recovered as start-offset differences (the last segment
+   extends to the period).  Tail access, segment counts and point
+   lookups (binary search) are O(1)/O(log n) instead of the old list
+   walks, and a million-net design carries one small array per net
+   instead of a spine of list cells. *)
+
 type t = {
   period : Timebase.ps;
-  segs : (Tvalue.t * Timebase.ps) list;
+  n_segs : int; (* >= 1 *)
+  segs : int array; (* length n_segs; (start lsl 3) lor value code *)
   early : Timebase.ps; (* <= 0 *)
   late : Timebase.ps; (* >= 0 *)
 }
+
+let code = function
+  | Tvalue.V0 -> 0
+  | Tvalue.V1 -> 1
+  | Tvalue.Rise -> 2
+  | Tvalue.Fall -> 3
+  | Tvalue.Stable -> 4
+  | Tvalue.Change -> 5
+  | Tvalue.Unknown -> 6
+
+let decode = function
+  | 0 -> Tvalue.V0
+  | 1 -> Tvalue.V1
+  | 2 -> Tvalue.Rise
+  | 3 -> Tvalue.Fall
+  | 4 -> Tvalue.Stable
+  | 5 -> Tvalue.Change
+  | _ -> Tvalue.Unknown
+
+let seg_val w i = decode (w.segs.(i) land 7)
+
+let seg_start w i = w.segs.(i) asr 3
 
 let period w = w.period
 
 let skew w = (w.early, w.late)
 
-let segments w = w.segs
+let n_segments w = w.n_segs
+
+let seg_width w i =
+  (if i = w.n_segs - 1 then w.period else seg_start w (i + 1)) - seg_start w i
+
+let segments w =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((seg_val w i, seg_width w i) :: acc)
+  in
+  go (w.n_segs - 1) []
 
 let wrap p x =
   let r = x mod p in
@@ -17,13 +58,34 @@ let wrap p x =
 
 (* ---- normalized construction ---------------------------------------- *)
 
-let merge_adjacent segs =
-  let rec go = function
-    | (v1, w1) :: (v2, w2) :: rest when Tvalue.equal v1 v2 -> go ((v1, w1 + w2) :: rest)
-    | s :: rest -> s :: go rest
-    | [] -> []
+(* Build from a transient [(value, width)] list, merging adjacent equal
+   values into the contiguous array in one pass.  Widths must be
+   positive and sum to the period (checked by the public [create]). *)
+let of_segs ~period ~early ~late segs =
+  let n_merged =
+    let rec count prev n = function
+      | [] -> n
+      | (v, _) :: rest ->
+        (match prev with
+        | Some pv when Tvalue.equal pv v -> count prev n rest
+        | _ -> count (Some v) (n + 1) rest)
+    in
+    count None 0 segs
   in
-  go segs
+  if n_merged = 0 then invalid_arg "Waveform: empty segment list";
+  let arr = Array.make n_merged 0 in
+  let rec fill i at = function
+    | [] -> ()
+    | (v, width) :: rest ->
+      let c = code v in
+      if i > 0 && arr.(i - 1) land 7 = c then fill i (at + width) rest
+      else begin
+        arr.(i) <- (at lsl 3) lor c;
+        fill (i + 1) (at + width) rest
+      end
+  in
+  fill 0 0 segs;
+  { period; n_segs = n_merged; segs = arr; early; late }
 
 let create ~period segs =
   if period <= 0 then invalid_arg "Waveform.create: period must be positive";
@@ -34,7 +96,7 @@ let create ~period segs =
   if total <> period then
     invalid_arg
       (Printf.sprintf "Waveform.create: segment widths sum to %d, period is %d" total period);
-  { period; segs = merge_adjacent segs; early = 0; late = 0 }
+  of_segs ~period ~early:0 ~late:0 segs
 
 let const ~period v = create ~period [ (v, period) ]
 
@@ -43,22 +105,21 @@ let with_skew ~early ~late w =
   { w with early; late }
 
 let equal a b =
-  a.period = b.period && a.early = b.early && a.late = b.late
-  && List.length a.segs = List.length b.segs
-  && List.for_all2 (fun (v1, w1) (v2, w2) -> Tvalue.equal v1 v2 && w1 = w2) a.segs b.segs
+  a.period = b.period && a.early = b.early && a.late = b.late && a.n_segs = b.n_segs
+  &&
+  let rec go i = i >= a.n_segs || (a.segs.(i) = b.segs.(i) && go (i + 1)) in
+  go 0
 
 (* ---- pieces: absolute [start, stop) covering [0, period) ------------- *)
 
 type piece = { p_start : Timebase.ps; p_stop : Timebase.ps; p_val : Tvalue.t }
 
-let pieces_of w =
-  let _, rev =
-    List.fold_left
-      (fun (t, acc) (v, width) ->
-        (t + width, { p_start = t; p_stop = t + width; p_val = v } :: acc))
-      (0, []) w.segs
-  in
-  List.rev rev
+let piece_at w i =
+  { p_start = seg_start w i;
+    p_stop = (if i = w.n_segs - 1 then w.period else seg_start w (i + 1));
+    p_val = seg_val w i }
+
+let pieces_arr w = Array.init w.n_segs (piece_at w)
 
 let of_pieces ~period ~early ~late pieces =
   let segs =
@@ -68,16 +129,21 @@ let of_pieces ~period ~early ~late pieces =
         if width <= 0 then None else Some (p.p_val, width))
       pieces
   in
-  let segs = merge_adjacent segs in
-  { period; segs; early; late }
+  of_segs ~period ~early ~late segs
 
-let value_at w t =
-  let t = wrap w.period t in
-  let rec go at = function
-    | [] -> assert false
-    | (v, width) :: rest -> if t < at + width then v else go (at + width) rest
-  in
-  go 0 w.segs
+(* Index of the segment covering instant [t] in [0, period): the largest
+   [i] with [start i <= t]. *)
+let seg_index w t =
+  let lo = ref 0 and hi = ref (w.n_segs - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if w.segs.(mid) asr 3 <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let value_at w t = seg_val w (seg_index w (wrap w.period t))
+
+let starts_list w = List.init w.n_segs (seg_start w)
 
 (* ---- modular intervals ----------------------------------------------- *)
 
@@ -132,16 +198,15 @@ let rotate w d =
   if d = 0 then w
   else
     let shifted =
-      List.concat_map
-        (fun p ->
-          let s = p.p_start + d and e = p.p_stop + d in
-          if e <= w.period then [ { p with p_start = s; p_stop = e } ]
-          else if s >= w.period then
-            [ { p with p_start = s - w.period; p_stop = e - w.period } ]
-          else
-            [ { p with p_start = s; p_stop = w.period };
-              { p with p_start = 0; p_stop = e - w.period } ])
-        (pieces_of w)
+      Array.to_list (pieces_arr w)
+      |> List.concat_map (fun p ->
+             let s = p.p_start + d and e = p.p_stop + d in
+             if e <= w.period then [ { p with p_start = s; p_stop = e } ]
+             else if s >= w.period then
+               [ { p with p_start = s - w.period; p_stop = e - w.period } ]
+             else
+               [ { p with p_start = s; p_stop = w.period };
+                 { p with p_start = 0; p_stop = e - w.period } ])
     in
     let sorted = List.sort (fun a b -> Int.compare a.p_start b.p_start) shifted in
     of_pieces ~period:w.period ~early:w.early ~late:w.late sorted
@@ -153,19 +218,19 @@ let delay ~dmin ~dmax w =
 
 (* ---- transitions ------------------------------------------------------ *)
 
-(* Circular transition list: (time, before, after). *)
+(* Circular transition list: (time, before, after).  The last segment is
+   the array tail — O(1) instead of the old [List.nth] walk. *)
 let transitions w =
-  match pieces_of w with
-  | [] | [ _ ] -> []
-  | first :: _ as pieces ->
-    let rec pairs prev = function
-      | [] -> []
-      | p :: rest -> (p.p_start, prev.p_val, p.p_val) :: pairs p rest
+  let n = w.n_segs in
+  if n <= 1 then []
+  else
+    let rec inner i acc =
+      if i < 1 then acc
+      else inner (i - 1) ((seg_start w i, seg_val w (i - 1), seg_val w i) :: acc)
     in
-    let last = List.nth pieces (List.length pieces - 1) in
-    let inner = match pieces with [] -> [] | p :: rest -> pairs p rest in
-    if Tvalue.equal last.p_val first.p_val then inner
-    else (0, last.p_val, first.p_val) :: inner
+    let inner = inner (n - 1) [] in
+    let last_v = seg_val w (n - 1) and first_v = seg_val w 0 in
+    if Tvalue.equal last_v first_v then inner else (0, last_v, first_v) :: inner
 
 (* ---- materialization --------------------------------------------------- *)
 
@@ -198,7 +263,7 @@ let materialize w =
         in
         let bps =
           List.concat_map (fun ((s, width), _) -> [ s; s + width ]) windows
-          @ List.map (fun pc -> pc.p_start) (pieces_of w)
+          @ starts_list w
         in
         let value_of x =
           let covering =
@@ -215,10 +280,15 @@ let materialize w =
 (* ---- pointwise maps ---------------------------------------------------- *)
 
 let map f w =
-  let segs = merge_adjacent (List.map (fun (v, width) -> (f v, width)) w.segs) in
-  { w with segs }
+  let segs =
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) ((f (seg_val w i), seg_width w i) :: acc)
+    in
+    go (w.n_segs - 1) []
+  in
+  of_segs ~period:w.period ~early:w.early ~late:w.late segs
 
-let is_const w = match w.segs with [ _ ] -> true | _ -> false
+let is_const w = w.n_segs = 1
 
 let check_periods ws =
   match ws with
@@ -237,15 +307,13 @@ let mapn f ws =
      inputs are stable (§2.8). *)
   let varying = List.filter (fun w -> not (is_const w)) ws in
   match varying with
-  | [] -> const ~period:p (f (List.map (fun w -> List.hd w.segs |> fst) ws))
+  | [] -> const ~period:p (f (List.map (fun w -> seg_val w 0) ws))
   | [ v ] ->
-    let g x =
-      f (List.map (fun w -> if w == v then x else List.hd w.segs |> fst) ws)
-    in
+    let g x = f (List.map (fun w -> if w == v then x else seg_val w 0) ws) in
     map g v
   | _ ->
     let ms = List.map materialize ws in
-    let bps = List.concat_map (fun m -> List.map (fun pc -> pc.p_start) (pieces_of m)) ms in
+    let bps = List.concat_map starts_list ms in
     of_breakpoints ~period:p bps (fun x -> f (List.map (fun m -> value_at m x) ms))
 
 let map2 f a b =
@@ -258,32 +326,32 @@ let map3 f a b c =
 
 type window = { w_start : Timebase.ps; w_stop : Timebase.ps }
 
-(* Circular pieces: like [pieces_of] on the materialized waveform but
+(* Circular pieces: like the piece array of the materialized waveform but
    with the wrap-spanning segment (equal first/last values) merged into a
    single piece whose stop exceeds the period. *)
 let circular_pieces m =
-  match pieces_of m with
-  | [] -> []
-  | [ p ] -> [ p ]
-  | first :: _ as pieces ->
-    let n = List.length pieces in
-    let last = List.nth pieces (n - 1) in
-    if Tvalue.equal first.p_val last.p_val then
+  let n = m.n_segs in
+  if n <= 1 then pieces_arr m
+  else
+    let first_v = seg_val m 0 and last_v = seg_val m (n - 1) in
+    if Tvalue.equal first_v last_v then
       let merged =
-        { p_start = last.p_start; p_stop = first.p_stop + m.period; p_val = first.p_val }
+        { p_start = seg_start m (n - 1);
+          p_stop = seg_start m 1 + m.period;
+          p_val = first_v }
       in
-      (match List.filteri (fun i _ -> i > 0 && i < n - 1) pieces with
-      | [] -> [ merged ]
-      | middle -> middle @ [ merged ])
-    else pieces
+      if n = 2 then [| merged |]
+      else
+        Array.init (n - 1) (fun i ->
+            if i = n - 2 then merged else piece_at m (i + 1))
+    else pieces_arr m
 
 let edge_windows ~from_v ~to_v m =
   let m = materialize m in
-  let pieces = circular_pieces m in
-  let n = List.length pieces in
+  let arr = circular_pieces m in
+  let n = Array.length arr in
   if n <= 1 then []
   else
-    let arr = Array.of_list pieces in
     let get i = arr.((i + n) mod n) in
     let out = ref [] in
     for i = 0 to n - 1 do
@@ -311,11 +379,10 @@ let falling_windows m = edge_windows ~from_v:Tvalue.V1 ~to_v:Tvalue.V0 m
 
 let change_windows w =
   let m = materialize w in
-  let pieces = circular_pieces m in
-  let n = List.length pieces in
+  let arr = circular_pieces m in
+  let n = Array.length arr in
   if n <= 1 then []
   else
-    let arr = Array.of_list pieces in
     let out = ref [] in
     for i = 0 to n - 1 do
       let p = arr.(i) in
@@ -332,9 +399,10 @@ let change_windows w =
     List.sort (fun a b -> Int.compare a.w_start b.w_start) !out
 
 let runs_where pred ~period pieces =
-  (* Group consecutive satisfying pieces into runs of (start, stop). *)
-  let runs =
-    List.fold_left
+  (* Group consecutive satisfying pieces into runs of (start, stop); the
+     wrap-join inspects only the first and last runs of the array. *)
+  let rev_runs =
+    Array.fold_left
       (fun runs p ->
         if not (pred p.p_val) then runs
         else
@@ -342,47 +410,51 @@ let runs_where pred ~period pieces =
           | (s, e) :: rest when e = p.p_start -> (s, p.p_stop) :: rest
           | _ -> (p.p_start, p.p_stop) :: runs)
       [] pieces
-    |> List.rev
   in
-  match runs with
-  | [] -> []
-  | [ (0, e) ] when e = period -> [ (0, period) ]
-  | (0, e0) :: _ ->
-    (* A run touching time 0 joins a run ending at the period (wrap). *)
-    let last_s, last_e = List.nth runs (List.length runs - 1) in
-    if last_e = period && List.length runs > 1 then
-      let middle = List.filteri (fun i _ -> i > 0 && i < List.length runs - 1) runs in
-      let joined = (last_s, last_e + e0) in
-      List.map (fun (s, e) -> (s, e - s)) (middle @ [ joined ])
-    else List.map (fun (s, e) -> (s, e - s)) runs
-  | _ -> List.map (fun (s, e) -> (s, e - s)) runs
+  let runs = Array.of_list (List.rev rev_runs) in
+  let k = Array.length runs in
+  if k = 0 then []
+  else if k = 1 && runs.(0) = (0, period) then [ (0, period) ]
+  else
+    let s0, e0 = runs.(0) in
+    let last_s, last_e = runs.(k - 1) in
+    if s0 = 0 && last_e = period && k > 1 then
+      (* A run touching time 0 joins a run ending at the period (wrap). *)
+      List.init (k - 1) (fun i ->
+          if i = k - 2 then (last_s, last_e + e0 - last_s)
+          else
+            let s, e = runs.(i + 1) in
+            (s, e - s))
+    else List.init k (fun i ->
+        let s, e = runs.(i) in
+        (s, e - s))
 
 let intervals_where pred w =
   let m = materialize w in
-  runs_where pred ~period:m.period (pieces_of m)
+  runs_where pred ~period:m.period (pieces_arr m)
 
 let delay_rise_fall ~rise:(rmin, rmax) ~fall:(fmin, fmax) w =
   if rmin < 0 || rmax < rmin || fmin < 0 || fmax < fmin then
     invalid_arg "Waveform.delay_rise_fall: bad delay ranges";
   let m = materialize w in
   let value_known =
-    List.for_all
-      (fun (v, _) ->
-        match v with
-        | Tvalue.V0 | Tvalue.V1 | Tvalue.Rise | Tvalue.Fall -> true
-        | Tvalue.Stable | Tvalue.Change | Tvalue.Unknown -> false)
-      m.segs
+    let rec go i =
+      i >= m.n_segs
+      || (match seg_val m i with
+         | Tvalue.V0 | Tvalue.V1 | Tvalue.Rise | Tvalue.Fall -> go (i + 1)
+         | Tvalue.Stable | Tvalue.Change | Tvalue.Unknown -> false)
+    in
+    go 0
   in
   (* The per-edge reconstruction assumes a coherent signal: every Rise
      window sits between a 0 and a 1, every Fall window between a 1 and
      a 0.  Degenerate patterns (e.g. a Rise returning to 0) fall back to
      the conservative envelope. *)
   let coherent =
-    let pieces = circular_pieces m in
-    let n = List.length pieces in
+    let arr = circular_pieces m in
+    let n = Array.length arr in
     n <= 1
     ||
-    let arr = Array.of_list pieces in
     let ok = ref true in
     for i = 0 to n - 1 do
       let prev = arr.((i + n - 1) mod n) and next = arr.((i + 1) mod n) in
@@ -431,24 +503,24 @@ let delay_rise_fall ~rise:(rmin, rmax) ~fall:(fmin, fmax) w =
           @ List.map (fun w -> (w, fmin, fmax)) falling
         in
         let in_source_order =
-          List.sort
-            (fun ({ w_start = a; _ }, _, _) ({ w_start = b; _ }, _, _) ->
-              Int.compare a b)
-            tagged
+          Array.of_list
+            (List.sort
+               (fun ({ w_start = a; _ }, _, _) ({ w_start = b; _ }, _, _) ->
+                 Int.compare a b)
+               tagged)
         in
-        let rec pairs_ok = function
-          | ({ w_stop = e1; _ }, _, dmax1) :: (({ w_start = s2; _ }, dmin2, _) :: _ as rest)
-            ->
-            e1 + dmax1 <= s2 + dmin2 && pairs_ok rest
-          | [ _ ] | [] -> true
-        in
-        match in_source_order with
-        | [] | [ _ ] -> pairs_ok in_source_order
-        | ({ w_start = s0; _ }, dmin0, _) :: _ ->
-          let { w_stop = el; _ }, _, dmaxl =
-            List.nth in_source_order (List.length in_source_order - 1)
-          in
-          pairs_ok in_source_order && el + dmaxl <= s0 + p + dmin0
+        let k = Array.length in_source_order in
+        let pairs_ok = ref true in
+        for i = 0 to k - 2 do
+          let { w_stop = e1; _ }, _, dmax1 = in_source_order.(i) in
+          let { w_start = s2; _ }, dmin2, _ = in_source_order.(i + 1) in
+          if e1 + dmax1 > s2 + dmin2 then pairs_ok := false
+        done;
+        if k <= 1 then true
+        else
+          let { w_start = s0; _ }, dmin0, _ = in_source_order.(0) in
+          let { w_stop = el; _ }, _, dmaxl = in_source_order.(k - 1) in
+          !pairs_ok && el + dmaxl <= s0 + p + dmin0
       in
       if not ordered then None
       else
@@ -479,11 +551,12 @@ let delay_rise_fall ~rise:(rmin, rmax) ~fall:(fmin, fmax) w =
         Some (of_breakpoints ~period:p bps value_of)
 
 let pulse_intervals v w =
-  runs_where (Tvalue.equal v) ~period:w.period (pieces_of w)
+  runs_where (Tvalue.equal v) ~period:w.period (pieces_arr w)
 
 let stable_everywhere w =
   let m = materialize w in
-  List.for_all (fun (v, _) -> Tvalue.is_stable v) m.segs
+  let rec go i = i >= m.n_segs || (Tvalue.is_stable (seg_val m i) && go (i + 1)) in
+  go 0
 
 let stable_over w ~start ~width =
   if width <= 0 then true
@@ -501,13 +574,9 @@ let stable_interval_around w t =
 (* ---- printing ---------------------------------------------------------- *)
 
 let pp ppf w =
-  let rec go at = function
-    | [] -> ()
-    | (v, width) :: rest ->
-      if at > 0 then Format.pp_print_string ppf "  ";
-      Format.fprintf ppf "%a %a" Tvalue.pp v Timebase.pp_ns at;
-      go (at + width) rest
-  in
-  go 0 w.segs;
+  for i = 0 to w.n_segs - 1 do
+    if i > 0 then Format.pp_print_string ppf "  ";
+    Format.fprintf ppf "%a %a" Tvalue.pp (seg_val w i) Timebase.pp_ns (seg_start w i)
+  done;
   if w.early <> 0 || w.late <> 0 then
     Format.fprintf ppf "  (skew %a/+%a)" Timebase.pp_ns w.early Timebase.pp_ns w.late

@@ -27,7 +27,11 @@ val segments : t -> (Tvalue.t * Timebase.ps) list
 (** The normalized value list starting at time 0: widths are positive,
     sum to the period, and no two adjacent entries are equal (the first
     and last entries may be equal, representing one segment spanning the
-    cycle wrap). *)
+    cycle wrap).  Allocates a fresh list from the contiguous segment
+    buffer; use {!n_segments} when only the count is needed. *)
+
+val n_segments : t -> int
+(** Number of segments in the normalized value list, O(1). *)
 
 val equal : t -> t -> bool
 

@@ -18,7 +18,7 @@ let apply nl rule =
       | Some _ -> ()
       | None ->
         Netlist.set_wire_delay nl n.Netlist.n_id
-          (delay_for rule ~fanout:(List.length n.Netlist.n_fanout));
+          (delay_for rule ~fanout:(Netlist.fanout_count n));
         incr count);
   !count
 

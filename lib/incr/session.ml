@@ -193,7 +193,7 @@ let dirty_cone nl ~seed_nets ~seed_insts =
   List.iter
     (fun nid ->
       net_dirty.(nid) <- true;
-      List.iter add (Netlist.net nl nid).n_fanout)
+      Netlist.iter_fanout (Netlist.net nl nid) add)
     seed_nets;
   List.iter add seed_insts;
   while not (Queue.is_empty q) do
@@ -203,7 +203,7 @@ let dirty_cone nl ~seed_nets ~seed_insts =
     | Some o ->
       if not net_dirty.(o) then begin
         net_dirty.(o) <- true;
-        List.iter add (Netlist.net nl o).n_fanout
+        Netlist.iter_fanout (Netlist.net nl o) add
       end
   done;
   (inst_dirty, net_dirty)

@@ -81,7 +81,7 @@ let gating_depth nl =
                 max acc (1 + depth j)
               else acc)
             0
-            (Netlist.net nl o).Netlist.n_fanout
+            (Netlist.fanout (Netlist.net nl o))
       in
       memo.(i) <- min d (max_int / 2);
       d
@@ -163,7 +163,7 @@ let check_c3 nl =
               let chk = Netlist.inst nl j in
               is_data_checker chk.Netlist.i_prim
               && chk.Netlist.i_inputs.(0).Netlist.c_net = data)
-            (Netlist.net nl data).Netlist.n_fanout
+            (Netlist.fanout (Netlist.net nl data))
         in
         if not covered then
           acc :=
@@ -461,7 +461,7 @@ let check_k4 nl =
                 :: !acc
             end
           end)
-        (Netlist.net nl o).Netlist.n_fanout);
+        (Netlist.fanout (Netlist.net nl o)));
     color.(i) <- 2
   in
   Netlist.iter_insts nl (fun i ->
@@ -525,7 +525,7 @@ let check_k5 nl =
 let check_k6 nl =
   let acc = ref [] in
   Netlist.iter_nets nl (fun n ->
-      if n.Netlist.n_driver <> None && n.Netlist.n_fanout = [] then
+      if n.Netlist.n_driver <> None && Netlist.fanout_count n = 0 then
         acc :=
           finding "K6" R.Warning (R.Net n.Netlist.n_name)
             "driven but feeds no primitive and no checker — dead logic, or a missing connection"

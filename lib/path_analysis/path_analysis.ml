@@ -69,7 +69,7 @@ let edges_from nl net_id =
           let d = Delay.add wire (prim_delay inst.Netlist.i_prim ~input_index) in
           Some
             { e_inst = inst; e_to = out; e_min = d.Delay.dmin; e_max = d.Delay.dmax })
-    n.Netlist.n_fanout
+    (Netlist.fanout n)
 
 let default_sources nl =
   let acc = ref [] in
@@ -104,7 +104,7 @@ let default_sinks nl =
             | Primitive.Gate _ | Primitive.Buf _ | Primitive.Mux2 _
             | Primitive.Const _ ->
               false)
-          n.Netlist.n_fanout
+          (Netlist.fanout n)
       in
       if feeds_seq then acc := n.Netlist.n_id :: !acc);
   List.rev !acc
@@ -137,7 +137,7 @@ let full_edges_from nl net_id =
             !found
           in
           Some (inst, out, Delay.add wire (prim_delay inst.Netlist.i_prim ~input_index)))
-    n.Netlist.n_fanout
+    (Netlist.fanout n)
 
 let enumerate ?sources ?sinks ?(limit = 10_000) nl =
   let sources = match sources with Some s -> s | None -> default_sources nl in

@@ -71,7 +71,7 @@ let slots cfg nl =
         let inst = Netlist.inst nl i in
         (* neighbours: consumers of my output, drivers of my inputs *)
         (match inst.Netlist.i_output with
-        | Some o -> List.iter place (Netlist.net nl o).Netlist.n_fanout
+        | Some o -> Netlist.iter_fanout (Netlist.net nl o) place
         | None -> ());
         Array.iter
           (fun (c : Netlist.conn) ->
@@ -100,7 +100,7 @@ let edge_sensitive_pin (inst : Netlist.inst) input_index =
 let route_of_net cfg nl slot (n : Netlist.net) =
   (* pins: the driver instance and each consumer *)
   let pin_insts =
-    (match n.Netlist.n_driver with Some d -> [ d ] | None -> []) @ n.Netlist.n_fanout
+    (match n.Netlist.n_driver with Some d -> [ d ] | None -> []) @ Netlist.fanout n
   in
   let positions = List.map (fun i -> position cfg slot.(i)) pin_insts in
   let length =
@@ -115,7 +115,7 @@ let route_of_net cfg nl slot (n : Netlist.net) =
       in
       xmax -. xmin +. (ymax -. ymin)
   in
-  let fanout = List.length n.Netlist.n_fanout in
+  let fanout = Netlist.fanout_count n in
   let prop_min_ns = length /. cfg.velocity_cm_per_ns in
   let prop_max_ns = cfg.detour *. prop_min_ns in
   let delay =
@@ -137,7 +137,7 @@ let route_of_net cfg nl slot (n : Netlist.net) =
               found := true)
           inst.Netlist.i_inputs;
         !found)
-      n.Netlist.n_fanout
+      (Netlist.fanout n)
   in
   {
     r_net = n.Netlist.n_name;

@@ -12,6 +12,7 @@ type expansion = {
   e_summary : summary;
   e_pass1_s : float;
   e_pass2_s : float;
+  e_streamed : bool;
 }
 
 exception Expand_error of string
@@ -318,8 +319,12 @@ type pass1 = {
   mutable p1_macros : int;
   mutable p1_primitives : int;
   mutable p1_synonyms : int;
-  p1_signals : (string, unit) Hashtbl.t;
-  p1_syn : Synonyms.t;
+  (* [None] in streaming mode: the distinct-signal count is read off the
+     netlist instead, and the synonym structure (whose path-qualified
+     keys dominate the walker's live allocation) reduces to the counter
+     above. *)
+  p1_signals : (string, unit) Hashtbl.t option;
+  p1_syn : Synonyms.t option;
 }
 
 let max_depth = 64
@@ -336,7 +341,9 @@ let rec walk_instance settings frame depth stats emit (inst : Ast.instance) =
   match classify_head settings line inst.Ast.i_head inst.Ast.i_props with
   | P prim ->
     stats.p1_primitives <- stats.p1_primitives + 1;
-    List.iter (fun b -> Hashtbl.replace stats.p1_signals b.b_name ()) (args @ outs);
+    (match stats.p1_signals with
+    | None -> ()
+    | Some tbl -> List.iter (fun b -> Hashtbl.replace tbl b.b_name ()) (args @ outs));
     emit line inst.Ast.i_head prim args outs
   | Macro_call m ->
     stats.p1_macros <- stats.p1_macros + 1;
@@ -359,8 +366,11 @@ let rec walk_instance settings frame depth stats emit (inst : Ast.instance) =
           let base = param_base fname in
           (* Record the synonym between the formal (path-qualified) and
              the actual signal name. *)
-          let qualified = frame.f_path ^ "$" ^ m.Ast.m_name ^ "$" ^ fname in
-          Synonyms.union stats.p1_syn qualified actual.b_name;
+          (match stats.p1_syn with
+          | None -> ()
+          | Some syn ->
+            let qualified = frame.f_path ^ "$" ^ m.Ast.m_name ^ "$" ^ fname in
+            Synonyms.union syn qualified actual.b_name);
           stats.p1_synonyms <- stats.p1_synonyms + 1;
           (base, actual))
         m.Ast.m_params actuals
@@ -405,8 +415,8 @@ let expand ?defaults design =
           p1_macros = 0;
           p1_primitives = 0;
           p1_synonyms = 0;
-          p1_signals = Hashtbl.create 64;
-          p1_syn = Synonyms.create ();
+          p1_signals = Some (Hashtbl.create 64);
+          p1_syn = Some (Synonyms.create ());
         }
       in
       List.iter
@@ -467,16 +477,19 @@ let expand ?defaults design =
       ignore
         (Wire_rule.apply nl
            (Wire_rule.loaded ~base:(Delay.of_ns b1 b2) ~per_load:(Delay.of_ns p1 p2))));
+    Netlist.trim nl;
     Ok
       {
         e_netlist = nl;
         e_pass1_s = pass1_s;
         e_pass2_s = pass2_s;
+        e_streamed = false;
         e_summary =
           {
             s_macros_expanded = stats1.p1_macros;
             s_primitives = stats1.p1_primitives;
-            s_signals = Hashtbl.length stats1.p1_signals;
+            s_signals =
+              (match stats1.p1_signals with Some tbl -> Hashtbl.length tbl | None -> 0);
             s_synonyms = stats1.p1_synonyms;
           };
       }
@@ -489,8 +502,153 @@ let expand_exn ?defaults design =
   | Ok e -> e
   | Error msg -> invalid_arg ("Sdl expand: " ^ msg)
 
+(* ---- streaming expansion ------------------------------------------------------------------ *)
+
+(* Single pass over the statement stream: statistics and netlist output
+   are produced together, and no design AST is ever materialized, so
+   peak RSS tracks the expanded design rather than the source's token
+   sequence or macro tree.
+
+   Equivalence with the two-pass [expand] requires care on ordering:
+
+   - The netlist is created lazily at the first top-level instance; a
+     PERIOD statement must precede it.  If any timing setting (PERIOD,
+     CLOCK UNIT, DEFAULT WIRE DELAY) changes *after* that point the
+     materialized path would have used the later value, so we bail out
+     with [Error] and let {!load} fall back.
+   - Macros must be defined before use; a forward reference fails with
+     the usual "unknown primitive or macro" error, and {!load} falls
+     back to the materialized path, which accepts it.
+   - WIRE DELAY and WIDTH declarations are deferred and applied after
+     the stream in textual order — exactly where the two-pass expander
+     applies them — so net-id assignment and final delays are
+     bit-identical. *)
+let expand_stream ?defaults src =
+  try
+    let settings =
+      { period_ns = None; clock_unit_ns = None; default_wire = (0.0, 2.0);
+        wire_rule = None; macros = Hashtbl.create 16 }
+    in
+    let stats =
+      (* No signal table or synonym structure: the distinct-signal
+         count equals the net count of the netlist being built (every
+         primitive arg/out becomes a net, and nothing else does until
+         the deferred declarations run). *)
+      { p1_macros = 0; p1_primitives = 0; p1_synonyms = 0;
+        p1_signals = None; p1_syn = None }
+    in
+    let nl_ref = ref None in
+    let snapshot = ref None in
+    let deferred = ref [] in
+    let t0 = Sys.time () in
+    let ensure_nl () =
+      match !nl_ref with
+      | Some nl -> nl
+      | None ->
+        let period_ns =
+          match settings.period_ns with
+          | Some p -> p
+          | None -> fail "design has no PERIOD statement before the first instance"
+        in
+        let clock_unit_ns =
+          match settings.clock_unit_ns with Some u -> u | None -> period_ns /. 8.
+        in
+        let tb = Timebase.make ~period_ns ~clock_unit_ns in
+        let wmin, wmax = settings.default_wire in
+        let nl =
+          Netlist.create tb ?defaults ~default_wire_delay:(Delay.of_ns wmin wmax)
+        in
+        nl_ref := Some nl;
+        snapshot := Some (settings.period_ns, settings.clock_unit_ns, settings.default_wire);
+        nl
+    in
+    let emit line head prim args outs =
+      let nl = ensure_nl () in
+      let inputs = List.map (conn_of_binding nl) args in
+      let output =
+        match outs with
+        | [] -> None
+        | [ o ] ->
+          if o.b_complement then
+            fail "line %d: complemented output is not supported" line
+          else Some (Netlist.signal nl o.b_name)
+        | _ -> fail "line %d: primitives have at most one output" line
+      in
+      ignore
+        (Netlist.add nl ~name:(Printf.sprintf "%s.%d" head line) prim ~inputs ~output)
+    in
+    let stream_result =
+      Parser.iter_stream src (fun stmt ->
+          match stmt with
+          | Ast.Period p -> settings.period_ns <- Some p
+          | Ast.Clock_unit u -> settings.clock_unit_ns <- Some u
+          | Ast.Default_wire (a, b) -> settings.default_wire <- (a, b)
+          | Ast.Wire_rule (base, per_load) -> settings.wire_rule <- Some (base, per_load)
+          | Ast.Macro m ->
+            if Hashtbl.mem settings.macros m.Ast.m_name then
+              fail "line %d: macro %S defined twice" m.Ast.m_line m.Ast.m_name;
+            Hashtbl.add settings.macros m.Ast.m_name m
+          | Ast.Wire_delay _ | Ast.Width_decl _ -> deferred := stmt :: !deferred
+          | Ast.Top_instance i -> walk_instance settings top_frame 0 stats emit i)
+    in
+    match stream_result with
+    | Error e -> Error e
+    | Ok () -> (
+      match !snapshot with
+      | Some (p, cu, dw)
+        when p <> settings.period_ns || cu <> settings.clock_unit_ns
+             || dw <> settings.default_wire ->
+        (* A late setting would have applied retroactively under the
+           two-pass expander; defer to it. *)
+        Error "timing settings changed after the first instance"
+      | _ ->
+        let nl = ensure_nl () in
+        let n_signals = Netlist.n_nets nl in
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Ast.Wire_delay (s, (a, b)) ->
+              let id = Netlist.signal nl s.Ast.name in
+              Netlist.set_wire_delay nl id (Delay.of_ns a b)
+            | Ast.Width_decl (s, w) ->
+              let id = Netlist.signal nl s.Ast.name in
+              Netlist.set_width nl id w
+            | _ -> ())
+          (List.rev !deferred);
+        (match settings.wire_rule with
+        | None -> ()
+        | Some ((b1, b2), (p1, p2)) ->
+          ignore
+            (Wire_rule.apply nl
+               (Wire_rule.loaded ~base:(Delay.of_ns b1 b2) ~per_load:(Delay.of_ns p1 p2))));
+        Netlist.trim nl;
+        Ok
+          {
+            e_netlist = nl;
+            e_pass1_s = 0.;
+            e_pass2_s = Sys.time () -. t0;
+            e_streamed = true;
+            e_summary =
+              {
+                s_macros_expanded = stats.p1_macros;
+                s_primitives = stats.p1_primitives;
+                s_signals = n_signals;
+                s_synonyms = stats.p1_synonyms;
+              };
+          })
+  with
+  | Expand_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
 let load ?defaults src =
-  match Parser.parse src with Error e -> Error e | Ok d -> expand ?defaults d
+  match expand_stream ?defaults src with
+  | Ok e -> Ok e
+  | Error _ ->
+    (* The streaming pass is strictly stricter (macros before use,
+       PERIOD before the first instance, no late setting changes), so
+       on any error re-run the permissive materialized path: behaviour
+       and error messages match the pre-streaming expander exactly. *)
+    (match Parser.parse src with Error e -> Error e | Ok d -> expand ?defaults d)
 
 let pp_summary ppf s =
   Format.fprintf ppf

@@ -26,8 +26,9 @@ type summary = {
 type expansion = {
   e_netlist : Scald_core.Netlist.t;
   e_summary : summary;
-  e_pass1_s : float;  (** CPU seconds spent in Pass 1 *)
+  e_pass1_s : float;  (** CPU seconds spent in Pass 1 (0 when streamed) *)
   e_pass2_s : float;  (** CPU seconds spent in Pass 2 (netlist output) *)
+  e_streamed : bool;  (** built by the single-pass streaming expander *)
 }
 
 val expand :
@@ -40,7 +41,23 @@ val expand :
 
 val expand_exn : ?defaults:Scald_core.Assertion.defaults -> Ast.design -> expansion
 
+val expand_stream :
+  ?defaults:Scald_core.Assertion.defaults -> string -> (expansion, string) result
+(** Single-pass streaming expansion: statements are parsed one at a
+    time ({!Parser.iter_stream}) and primitives are emitted into the
+    netlist as they are reached, so peak memory tracks the expanded
+    design rather than the source's token sequence or macro tree.
+
+    Stricter than {!expand}: macros must be defined before use,
+    [PERIOD] must precede the first instance, and the timing settings
+    ([PERIOD], [CLOCK UNIT], [DEFAULT WIRE DELAY]) must not change
+    after the first instance.  On designs both accept, the resulting
+    netlist is bit-identical to the two-pass expander's. *)
+
 val load : ?defaults:Scald_core.Assertion.defaults -> string -> (expansion, string) result
-(** Parse and expand a source text. *)
+(** Expand a source text: tries {!expand_stream} first and transparently
+    falls back to parse + {!expand} if the streaming pass rejects the
+    design, so all designs the two-pass expander accepts still load —
+    only the peak memory differs. *)
 
 val pp_summary : Format.formatter -> summary -> unit

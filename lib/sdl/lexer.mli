@@ -22,6 +22,20 @@ type token =
 
 type lexeme = { tok : token; line : int }
 
+type cursor
+(** Incremental tokenizer state: one token at a time over the source,
+    retaining nothing but the source string itself.  This is what keeps
+    streaming expansion's peak RSS proportional to the expanded design
+    rather than the token sequence. *)
+
+val cursor : string -> cursor
+
+exception Lex_error of string
+
+val next : cursor -> lexeme
+(** The next lexeme; returns [Eof] lexemes forever once the source is
+    exhausted.  @raise Lex_error on a malformed character sequence. *)
+
 val tokenize : string -> (lexeme list, string) result
 (** Tokenize a whole source text; the list always ends with [Eof]. *)
 

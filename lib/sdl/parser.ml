@@ -1,19 +1,31 @@
-type state = { toks : Lexer.lexeme array; mutable pos : int }
+(* The parser runs over the incremental lexer with a two-lexeme
+   lookahead window — the grammar never needs more — so no token
+   sequence is ever materialized. *)
+type state = { cu : Lexer.cursor; mutable t0 : Lexer.lexeme; mutable t1 : Lexer.lexeme }
 
 exception Parse_error of string
 
+let make_state src =
+  let cu = Lexer.cursor src in
+  let t0 = Lexer.next cu in
+  let t1 = match t0.Lexer.tok with Lexer.Eof -> t0 | _ -> Lexer.next cu in
+  { cu; t0; t1 }
+
 let fail st fmt =
-  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).Lexer.line else 0 in
+  let line = st.t0.Lexer.line in
   Format.kasprintf (fun msg -> raise (Parse_error (Printf.sprintf "line %d: %s" line msg))) fmt
 
-let peek st = st.toks.(st.pos).Lexer.tok
+let peek st = st.t0.Lexer.tok
 
-let peek2 st =
-  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.tok else Lexer.Eof
+let peek2 st = st.t1.Lexer.tok
 
-let line st = st.toks.(st.pos).Lexer.line
+let line st = st.t0.Lexer.line
 
-let advance st = st.pos <- st.pos + 1
+let advance st =
+  st.t0 <- st.t1;
+  match st.t1.Lexer.tok with
+  | Lexer.Eof -> ()
+  | _ -> st.t1 <- Lexer.next st.cu
 
 let expect st tok what =
   if peek st = tok then advance st
@@ -294,17 +306,26 @@ let parse_top st =
     Ast.Width_decl (s, int_of_float n)
   | _ -> Ast.Top_instance (parse_instance st)
 
+let iter_stream src f =
+  try
+    let st = make_state src in
+    let rec go () =
+      match peek st with
+      | Lexer.Eof -> Ok ()
+      | _ ->
+        f (parse_top st);
+        go ()
+    in
+    go ()
+  with
+  | Parse_error msg -> Error msg
+  | Lexer.Lex_error msg -> Error msg
+
 let parse src =
-  match Lexer.tokenize src with
+  let acc = ref [] in
+  match iter_stream src (fun stmt -> acc := stmt :: !acc) with
+  | Ok () -> Ok (List.rev !acc)
   | Error e -> Error e
-  | Ok lexemes -> (
-    let st = { toks = Array.of_list lexemes; pos = 0 } in
-    try
-      let rec go acc =
-        match peek st with Lexer.Eof -> List.rev acc | _ -> go (parse_top st :: acc)
-      in
-      Ok (go [])
-    with Parse_error msg -> Error msg)
 
 let parse_exn src =
   match parse src with Ok d -> d | Error e -> invalid_arg ("Sdl parse: " ^ e)

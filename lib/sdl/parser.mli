@@ -11,5 +11,12 @@
 val parse : string -> (Ast.design, string) result
 (** Parse a whole source text. *)
 
+val iter_stream : string -> (Ast.top_stmt -> unit) -> (unit, string) result
+(** Parse statement-at-a-time, invoking the callback on each top-level
+    statement as soon as it is complete.  Nothing but the source string
+    and the statement in flight is retained — the backbone of streaming
+    macro expansion ({!Expander.expand_stream}).  A lex or parse error
+    stops the iteration; statements already delivered stay delivered. *)
+
 val parse_exn : string -> Ast.design
 (** @raise Invalid_argument with the parse error. *)

@@ -15,7 +15,7 @@ let entry_of_net nl (n : Netlist.net) =
     x_defined_by =
       Option.map (fun i -> (Netlist.inst nl i).Netlist.i_name) n.Netlist.n_driver;
     x_used_by =
-      List.rev_map (fun i -> (Netlist.inst nl i).Netlist.i_name) n.Netlist.n_fanout;
+      List.rev_map (fun i -> (Netlist.inst nl i).Netlist.i_name) (Netlist.fanout n);
     x_assertion = Option.map Assertion.to_string n.Netlist.n_assertion;
   }
 

@@ -23,6 +23,21 @@ let test_roundtrip () =
   let d = Directive.of_string_exn "HZZW" in
   Alcotest.(check string) "to_string" "HZZW" (Directive.to_string d)
 
+let test_long_directive () =
+  (* to_string walked the list with List.nth per character, quadratic in
+     the directive length; a pathological 100k-letter directive must
+     round-trip instantly. *)
+  let n = 100_000 in
+  let s = String.init n (fun i -> "HZWAE".[i mod 5]) in
+  let d = Directive.of_string_exn s in
+  let t0 = Sys.time () in
+  let s' = Directive.to_string d in
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check string) "round-trips" s s';
+  Alcotest.(check bool)
+    (Printf.sprintf "linear-time to_string (%.3fs)" elapsed)
+    true (elapsed < 1.0)
+
 let test_semantics () =
   (* §2.6: E no action; W zero wire; Z zero gate+wire; A hazard check;
      H = Z + A. *)
@@ -43,5 +58,6 @@ let suite =
     Alcotest.test_case "empty" `Quick test_empty;
     Alcotest.test_case "bad letter" `Quick test_bad;
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "long directive" `Quick test_long_directive;
     Alcotest.test_case "semantics" `Quick test_semantics;
   ]

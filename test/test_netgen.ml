@@ -56,6 +56,37 @@ let test_chip_count_near_target () =
         (abs (got - chips) < max 40 (chips / 5)))
     [ 200; 1000; 3000 ]
 
+(* Randomized determinism sweep across the scheduler matrix: within one
+   work-list discipline the full report — violations, r_obs counters,
+   case results, everything pp prints — must be bit-identical no matter
+   the domain count; across disciplines the evaluator counters may
+   legitimately differ, but violations and the convergence verdict may
+   not (verifier.mli's contract). *)
+let prop_report_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:12 ~name:"report deterministic across sched x jobs"
+       QCheck.(pair (int_range 1 1000) (int_range 60 200))
+       (fun (seed, chips) ->
+         let d = Netgen.generate { (Netgen.scaled ~chips ()) with Netgen.seed } in
+         let e = Netgen.to_netlist d in
+         let nl = e.Scald_sdl.Expander.e_netlist in
+         let render ~sched ~jobs =
+           Format.asprintf "%a" Verifier.pp (Verifier.verify ~sched ~jobs nl)
+         in
+         let violations r =
+           List.map (fun (v : Check.t) -> Format.asprintf "%a" Check.pp v)
+             r.Verifier.r_violations
+         in
+         let fifo1 = render ~sched:Eval.Fifo ~jobs:1 in
+         let fifo3 = render ~sched:Eval.Fifo ~jobs:3 in
+         let level1 = render ~sched:Eval.Level ~jobs:1 in
+         let level3 = render ~sched:Eval.Level ~jobs:3 in
+         let rf = Verifier.verify ~sched:Eval.Fifo nl
+         and rl = Verifier.verify ~sched:Eval.Level nl in
+         String.equal fifo1 fifo3 && String.equal level1 level3
+         && violations rf = violations rl
+         && rf.Verifier.r_converged = rl.Verifier.r_converged))
+
 let test_events_scale_linearly () =
   let events chips =
     let d = Netgen.generate (Netgen.scaled ~chips ()) in
@@ -79,5 +110,6 @@ let suite =
       test_broken_registers_inject_violations;
     Alcotest.test_case "shape matches thesis" `Quick test_shape_matches_thesis;
     Alcotest.test_case "chip count near target" `Quick test_chip_count_near_target;
+    prop_report_deterministic;
     Alcotest.test_case "events scale linearly" `Quick test_events_scale_linearly;
   ]

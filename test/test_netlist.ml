@@ -47,7 +47,7 @@ let test_add_and_fanout () =
   Alcotest.(check (option int)) "driver" (Some inst.Netlist.i_id)
     (Netlist.net nl q).Netlist.n_driver;
   Alcotest.(check (list int)) "fanout a" [ inst.Netlist.i_id ]
-    (Netlist.net nl a).Netlist.n_fanout;
+    (Netlist.fanout (Netlist.net nl a));
   Alcotest.(check int) "one inst" 1 (Netlist.n_insts nl)
 
 let test_wide_fanout () =
@@ -64,17 +64,42 @@ let test_wide_fanout () =
          ~inputs:[ Netlist.conn a ] ~output:(Some q))
   done;
   Alcotest.(check int) "every load recorded once" n
-    (List.length (Netlist.net nl a).Netlist.n_fanout);
+    (Netlist.fanout_count (Netlist.net nl a));
   (* both inputs of one gate on the same net: still recorded once *)
   let q = Netlist.signal nl "QQ" in
   let inst =
     Netlist.add nl gate2 ~inputs:[ Netlist.conn a; Netlist.conn a ] ~output:(Some q)
   in
-  let fanout = (Netlist.net nl a).Netlist.n_fanout in
+  let fanout = Netlist.fanout (Netlist.net nl a) in
   Alcotest.(check int) "same-instance duplicate coalesced" (n + 1)
     (List.length fanout);
   Alcotest.(check int) "newest load at the head" inst.Netlist.i_id
     (List.hd fanout)
+
+(* Random instances over a small net pool, with inputs repeated both
+   within one instance and across instances: every net's fanout list
+   must stay duplicate-free no matter the add order. *)
+let prop_fanout_no_dup =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"fanout lists are duplicate-free"
+       QCheck.(list_of_size Gen.(int_range 1 40) (pair (int_range 0 5) (int_range 0 5)))
+       (fun conn_specs ->
+         let nl = Netlist.create (tb ()) in
+         let nets = Array.init 6 (fun i -> Netlist.signal nl (Printf.sprintf "N%d" i)) in
+         List.iteri
+           (fun k (a, b) ->
+             let q = Netlist.signal nl (Printf.sprintf "Q%d" k) in
+             ignore
+               (Netlist.add nl gate2
+                  ~inputs:[ Netlist.conn nets.(a); Netlist.conn nets.(b) ]
+                  ~output:(Some q)))
+           conn_specs;
+         Array.for_all
+           (fun id ->
+             let f = Netlist.fanout (Netlist.net nl id) in
+             List.length f = List.length (List.sort_uniq Int.compare f)
+             && List.length f = Netlist.fanout_count (Netlist.net nl id))
+           nets))
 
 let test_add_arity_error () =
   let nl = Netlist.create (tb ()) in
@@ -137,6 +162,7 @@ let suite =
     Alcotest.test_case "width" `Quick test_width;
     Alcotest.test_case "add and fanout" `Quick test_add_and_fanout;
     Alcotest.test_case "wide fanout" `Quick test_wide_fanout;
+    prop_fanout_no_dup;
     Alcotest.test_case "add arity error" `Quick test_add_arity_error;
     Alcotest.test_case "double drive error" `Quick test_double_drive_error;
     Alcotest.test_case "checker no output" `Quick test_checker_no_output;

@@ -309,6 +309,45 @@ let test_s1_subset_clean () =
   Alcotest.(check int) "no corr advice" 0
     (List.length (Path_analysis.Corr.advise e.Expander.e_netlist))
 
+(* ---- streaming expansion ----------------------------------------------------------- *)
+
+let test_stream_matches_materialized () =
+  (* the single-pass streaming expander must produce a netlist (and hence
+     a verification report) bit-identical to the two-pass materialized
+     expander on every design both accept *)
+  let check_src name src =
+    let streamed =
+      match Expander.expand_stream src with
+      | Ok e -> e
+      | Error e -> Alcotest.failf "%s: stream: %s" name e
+    in
+    let materialized =
+      match Parser.parse src with
+      | Error e -> Alcotest.failf "%s: parse: %s" name e
+      | Ok d -> (
+        match Expander.expand d with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "%s: expand: %s" name e)
+    in
+    Alcotest.(check bool) (name ^ ": streamed flag") true
+      streamed.Expander.e_streamed;
+    Alcotest.(check bool) (name ^ ": materialized flag") false
+      materialized.Expander.e_streamed;
+    let s = streamed.Expander.e_summary and m = materialized.Expander.e_summary in
+    Alcotest.(check int) (name ^ ": macros expanded")
+      m.Expander.s_macros_expanded s.Expander.s_macros_expanded;
+    Alcotest.(check int) (name ^ ": primitives") m.Expander.s_primitives s.Expander.s_primitives;
+    Alcotest.(check int) (name ^ ": signals") m.Expander.s_signals s.Expander.s_signals;
+    let snl = streamed.Expander.e_netlist and mnl = materialized.Expander.e_netlist in
+    Alcotest.(check int) (name ^ ": n_insts") (Netlist.n_insts mnl) (Netlist.n_insts snl);
+    Alcotest.(check int) (name ^ ": n_nets") (Netlist.n_nets mnl) (Netlist.n_nets snl);
+    let render nl = Format.asprintf "%a" Verifier.pp (Verifier.verify nl) in
+    Alcotest.(check string) (name ^ ": identical report") (render mnl) (render snl)
+  in
+  check_src "register_file" (read_file "../examples/register_file.sdl");
+  check_src "s1_subset" (read_file "../examples/s1_subset.sdl");
+  check_src "netgen" (Netgen.to_sdl (Netgen.generate (Netgen.scaled ~chips:400 ())))
+
 (* ---- xref ------------------------------------------------------------------------- *)
 
 let test_xref () =
@@ -350,5 +389,6 @@ let suite =
     Alcotest.test_case "register_file.sdl matches API" `Quick test_register_file_sdl_matches_api;
     Alcotest.test_case "wire rule statement" `Quick test_wire_rule_statement;
     Alcotest.test_case "s1_subset.sdl clean" `Quick test_s1_subset_clean;
+    Alcotest.test_case "stream matches materialized" `Quick test_stream_matches_materialized;
     Alcotest.test_case "xref" `Quick test_xref;
   ]

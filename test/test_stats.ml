@@ -73,9 +73,43 @@ let test_storage_unevaluated () =
   Alcotest.(check int) "static sections unchanged" s.Stats.circuit_description
     s'.Stats.circuit_description
 
+(* Every storage count on the s1 subset, pinned against the
+   pointer-heavy pre-arena layout (doc/CAPACITY.md): the representation
+   change — packed waveform buffers, packed fanout arrays, the
+   once-per-net length accounting inside [storage_of] itself — must not
+   move a single figure. *)
+let test_storage_s1_pinned () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let e =
+    match Scald_sdl.Expander.load (read_file "../examples/s1_subset.sdl") with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let nl = e.Scald_sdl.Expander.e_netlist in
+  let s = Stats.storage_of nl in
+  Alcotest.(check int) "circuit description" 8996 s.Stats.circuit_description;
+  Alcotest.(check int) "signal values" 11360 s.Stats.signal_values;
+  Alcotest.(check int) "signal names" 2128 s.Stats.signal_names;
+  Alcotest.(check int) "string space" 982 s.Stats.string_space;
+  Alcotest.(check int) "call list" 2488 s.Stats.call_list;
+  Alcotest.(check int) "miscellaneous" 259 s.Stats.miscellaneous;
+  Alcotest.(check int) "total" 26213 (Stats.total s);
+  Alcotest.(check int) "value lists" 355 (Stats.n_value_lists nl);
+  ignore (Verifier.verify nl);
+  let s' = Stats.storage_of nl in
+  Alcotest.(check int) "signal values after verify" 20540 s'.Stats.signal_values;
+  Alcotest.(check int) "miscellaneous after verify" 351 s'.Stats.miscellaneous;
+  Alcotest.(check int) "total after verify" 35485 (Stats.total s')
+
 let suite =
   [
     Alcotest.test_case "census" `Quick test_census;
+    Alcotest.test_case "storage s1 pinned" `Quick test_storage_s1_pinned;
     Alcotest.test_case "storage unevaluated" `Quick test_storage_unevaluated;
     Alcotest.test_case "unvectored" `Quick test_unvectored;
     Alcotest.test_case "storage consistency" `Quick test_storage_consistency;

@@ -340,9 +340,34 @@ let properties =
           unstable);
   ]
 
+let test_many_segments () =
+  (* The tail/merge paths used [List.nth pieces (length - 1)] and
+     [List.filteri], quadratic in the segment count; a waveform with
+     thousands of segments must round-trip and answer tail queries
+     instantly on the contiguous buffer. *)
+  let n = 5_000 in
+  let seg_w = period / n in
+  let rem = period - (seg_w * n) in
+  let segs_in =
+    List.init n (fun i ->
+        ( (if i mod 2 = 0 then Tvalue.V0 else Tvalue.V1),
+          if i = n - 1 then seg_w + rem else seg_w ))
+  in
+  let t0 = Sys.time () in
+  let w = Waveform.create ~period segs_in in
+  Alcotest.(check int) "all segments kept" n (Waveform.n_segments w);
+  Alcotest.(check int) "segments list round-trips" n (List.length (Waveform.segments w));
+  Alcotest.check tv "tail value" Tvalue.V1 (Waveform.value_at w (period - 1));
+  Alcotest.check tv "head value" Tvalue.V0 (Waveform.value_at w 0);
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "near-linear construction+queries (%.3fs)" elapsed)
+    true (elapsed < 1.0)
+
 let suite =
   [
     Alcotest.test_case "const" `Quick test_const;
+    Alcotest.test_case "many segments" `Quick test_many_segments;
     Alcotest.test_case "create normalizes" `Quick test_create_normalizes;
     Alcotest.test_case "create bad sum" `Quick test_create_bad_sum;
     Alcotest.test_case "of_intervals" `Quick test_of_intervals;
