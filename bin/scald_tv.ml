@@ -14,9 +14,9 @@ let read_file path =
   close_in ic;
   s
 
-let run file case_file jobs sched summary xref quiet paths corr_advice prob slack
-    diagram vcd_out phys lint lint_only lint_fatal lint_json profile_out metrics_out
-    explain trace_buffer no_prune classes =
+let run file case_file jobs sched corners summary xref quiet paths corr_advice prob
+    slack diagram vcd_out phys lint lint_only lint_fatal lint_json profile_out
+    metrics_out explain trace_buffer no_prune classes =
   (* The observability layer is built only when asked for; with every
      obs flag off the verifier sees no probe and the evaluator's event
      hook stays None (the zero-overhead contract of doc/OBSERVABILITY.md). *)
@@ -101,13 +101,22 @@ let run file case_file jobs sched summary xref quiet paths corr_advice prob slac
     let report =
       Verifier.verify
         ?probe:(Option.map Scald_obs.Obs.probe obs)
-        ~cases ~jobs:(max 0 jobs) ~sched ~prune:(not no_prune) nl
+        ?corners ~cases ~jobs:(max 0 jobs) ~sched ~prune:(not no_prune) nl
     in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
       Format.printf "@.%a@." (fun ppf -> Timing_diagram.pp ppf) report.Verifier.r_eval;
-    if slack then
-      Format.printf "@.%a@." Slack.pp (Slack.compute report.Verifier.r_eval);
+    if slack then begin
+      let ev = report.Verifier.r_eval in
+      if Eval.n_corners ev = 1 then
+        Format.printf "@.%a@." Slack.pp (Slack.compute ev)
+      else
+        Array.iteri
+          (fun lane (c : Corner.t) ->
+            Format.printf "@.CORNER %a@.%a@." Corner.pp c Slack.pp
+              (Slack.compute ~lane ev))
+          (Eval.corners ev)
+    end;
     (match vcd_out with
     | None -> ()
     | Some path ->
@@ -136,6 +145,28 @@ let run file case_file jobs sched summary xref quiet paths corr_advice prob slac
     span "report" (fun () ->
         Format.printf "@.%a@." Report.pp_violations
           (!phys_violations @ report.Verifier.r_violations));
+    (* The error listing above is the reference corner's; on a
+       multi-corner run follow it with the per-corner tally and the full
+       listing of the worst corner (when it is not the reference). *)
+    (match report.Verifier.r_corners with
+    | [] | [ _ ] -> ()
+    | rcs ->
+      Format.printf "@.MULTI-CORNER SUMMARY@.";
+      List.iter
+        (fun (cr : Verifier.corner_result) ->
+          let n = List.length cr.Verifier.co_violations in
+          Format.printf "  %-24s %d error%s@."
+            (Format.asprintf "%a" Corner.pp cr.Verifier.co_corner)
+            n (if n = 1 then "" else "s"))
+        rcs;
+      (match Verifier.worst_corner report with
+      | Some cr when cr != List.hd rcs && cr.Verifier.co_violations <> [] ->
+        Format.printf "@.WORST CORNER %a@."
+          Corner.pp cr.Verifier.co_corner;
+        List.iter
+          (fun v -> Format.printf "%a@." Check.pp v)
+          cr.Verifier.co_violations
+      | _ -> ()));
     if not quiet then
       Format.printf "@.cases: %d  events: %d  evaluations: %d@."
         (List.length report.Verifier.r_cases)
@@ -188,6 +219,26 @@ let sched =
     & opt (enum [ ("level", Scald_core.Eval.Level); ("fifo", Scald_core.Eval.Fifo) ])
         Scald_core.Eval.Level
     & info [ "sched" ] ~docv:"DISCIPLINE" ~doc)
+
+let corners =
+  let doc =
+    "Evaluate $(docv) delay corners in one packed traversal: a \
+     comma-separated list of $(i,name[=dscale[/wscale]]) entries, e.g. \
+     $(b,slow,typ,fast) or $(b,typ,hot=1.4/1.2).  Bare names must be one \
+     of the presets (slow=1.25, typ=1.0, fast=0.8).  The first corner is \
+     the reference: its violations, ordering and convergence flags are \
+     bit-identical to a run without this option.  Overrides any CORNERS \
+     directive in the design source."
+  in
+  let spec_conv =
+    let parse s =
+      match Scald_core.Corner.of_spec s with
+      | tbl -> Ok tbl
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    Arg.conv (parse, Scald_core.Corner.pp_table)
+  in
+  Arg.(value & opt (some spec_conv) None & info [ "corners" ] ~docv:"SPEC" ~doc)
 
 let jobs =
   let doc =
@@ -320,7 +371,7 @@ let classes =
 
 let verify_term =
   Term.(
-    const run $ file $ case_file $ jobs $ sched $ summary $ xref $ quiet $ paths
+    const run $ file $ case_file $ jobs $ sched $ corners $ summary $ xref $ quiet $ paths
     $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
     $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer
     $ no_prune $ classes)
@@ -331,7 +382,7 @@ let verify_cmd =
 
 let serve_metrics =
   let doc =
-    "On shutdown, write the final run metrics (scald-metrics/3, with the \
+    "On shutdown, write the final run metrics (scald-metrics/4, with the \
      $(b,incr_*)/$(b,svc_*)/$(b,mem_*) service counters) as JSON to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)

@@ -39,6 +39,21 @@ let add a b =
   in
   { dmin = a.dmin + b.dmin; dmax = a.dmax + b.dmax; rise_fall }
 
+let scale f d =
+  if f <= 0.0 then invalid_arg "Delay.scale: factor must be positive";
+  if f = 1.0 then d
+  else
+    (* round the minimum down and the maximum up so the scaled range
+       still covers every physical delay the factor could produce *)
+    let lo p = max 0 (int_of_float (floor (f *. float_of_int p))) in
+    let hi p = max 0 (int_of_float (ceil (f *. float_of_int p))) in
+    let rise_fall =
+      match d.rise_fall with
+      | None -> None
+      | Some ((r1, r2), (f1, f2)) -> Some ((lo r1, hi r2), (lo f1, hi f2))
+    in
+    { dmin = lo d.dmin; dmax = hi d.dmax; rise_fall }
+
 let spread d = d.dmax - d.dmin
 
 let equal a b = a.dmin = b.dmin && a.dmax = b.dmax && a.rise_fall = b.rise_fall

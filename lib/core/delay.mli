@@ -46,6 +46,14 @@ val add : t -> t -> t
     compose edge-wise when both sides carry them, and degrade to the
     envelope otherwise. *)
 
+val scale : float -> t -> t
+(** [scale f d] multiplies every bound by [f], rounding the minima down
+    and the maxima up so the scaled range covers every delay the factor
+    could physically produce; the rise/fall refinement is scaled
+    edge-wise.  [scale 1.0 d] is physically [d] (the very same value),
+    so the unscaled reference corner costs nothing.
+    @raise Invalid_argument unless [f > 0]. *)
+
 val spread : t -> Timebase.ps
 (** [dmax - dmin]: the skew contributed by this delay. *)
 

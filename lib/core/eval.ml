@@ -32,6 +32,36 @@ let kind_name = function
 
 type mode = Fifo | Level
 
+(* Per-corner evaluation state for corners 1..k-1 (doc/CORNERS.md).
+   Corner 0 — the reference — lives in the netlist itself ([n_value] and
+   the evaluator's main caches), so the single-corner path carries no
+   lane state at all.  Each extra lane mirrors the lane-0 memo structure
+   (per-conn input cache, per-net shared record, register materialize
+   memo), keyed on the same [n_gen] stamps: any lane changing a net
+   bumps the stamp, so every lane's caches miss together. *)
+type lane = {
+  l_dscale : float;  (* element-delay scale factor of this corner *)
+  l_wscale : float;  (* interconnection-delay scale factor *)
+  l_value : Waveform.t array;  (* per-net lane waveform; shares the
+                                  lane-0 record whenever equal *)
+  l_cache_gen : int array;
+  l_cache_wf : Waveform.t array;
+  l_net_gen : int array;
+  l_net_wf : Waveform.t array;
+  l_mat_gen : int array;
+  l_mat_wf : Waveform.t array;
+  (* Generation-keyed checker-verdict memo: a lane's verdicts for one
+     instance are a pure function of its input waveforms, so they are
+     re-derived only when some input net's stamp moved — the per-case
+     check sweep of a multi-case run recomputes just the dirty cone.
+     Lane 0 is deliberately not memoized: the single-corner check pass
+     is the historical baseline and stays byte-identical. *)
+  l_chk_gen : int array;  (* per-conn input-net stamp at memo time *)
+  l_chk : Check.t list array;  (* per-inst memoized verdicts *)
+  l_chk_net_gen : int array;
+  l_chk_net : Check.t list array;  (* per-net assertion verdicts *)
+}
+
 type t = {
   nl : Netlist.t;
   mode : mode;
@@ -62,6 +92,15 @@ type t = {
   (* Register data-materialization memo, same generation key. *)
   mat_gen : int array;
   mat_wf : Waveform.t array;
+  (* Multi-corner lanes: corner 0 is evaluated through the fields above;
+     [lanes] holds corners 1..k-1 and is empty for a single-corner
+     netlist, so the historical path pays nothing. *)
+  corners : Corner.table;
+  c0_dscale : float;
+  c0_wscale : float;
+  lanes : lane array;
+  mutable lanes_shared : int;
+  mutable evals_saved : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   (* Stable-cone pruning (doc/FLOW.md): instances the static analysis
@@ -102,6 +141,29 @@ let create ?(mode = Level) ?sched ?flow nl =
   let scc_evals =
     match sched with None -> [||] | Some s -> Array.make (Sched.n_cyclic s) 0
   in
+  let corners = Netlist.corners nl in
+  let n_nets = max 1 (Netlist.n_nets nl) in
+  let lanes =
+    Array.init
+      (Array.length corners - 1)
+      (fun i ->
+        let c = corners.(i + 1) in
+        {
+          l_dscale = c.Corner.delay_scale;
+          l_wscale = c.Corner.wire_scale;
+          l_value = Array.make n_nets dummy_wf;
+          l_cache_gen = Array.make (max 1 !n_conns) (-1);
+          l_cache_wf = Array.make (max 1 !n_conns) dummy_wf;
+          l_net_gen = Array.make n_nets (-1);
+          l_net_wf = Array.make n_nets dummy_wf;
+          l_mat_gen = Array.make (max 1 n_insts) (-1);
+          l_mat_wf = Array.make (max 1 n_insts) dummy_wf;
+          l_chk_gen = Array.make (max 1 !n_conns) (-1);
+          l_chk = Array.make (max 1 n_insts) [];
+          l_chk_net_gen = Array.make n_nets (-1);
+          l_chk_net = Array.make n_nets [];
+        })
+  in
   {
     nl;
     mode;
@@ -121,6 +183,12 @@ let create ?(mode = Level) ?sched ?flow nl =
     net_wf = Array.make (max 1 (Netlist.n_nets nl)) dummy_wf;
     mat_gen = Array.make (max 1 n_insts) (-1);
     mat_wf = Array.make (max 1 n_insts) dummy_wf;
+    corners;
+    c0_dscale = corners.(0).Corner.delay_scale;
+    c0_wscale = corners.(0).Corner.wire_scale;
+    lanes;
+    lanes_shared = 0;
+    evals_saved = 0;
     cache_hits = 0;
     cache_misses = 0;
     flow;
@@ -141,6 +209,8 @@ let create ?(mode = Level) ?sched ?flow nl =
 
 let netlist t = t.nl
 let mode t = t.mode
+let corners t = t.corners
+let n_corners t = Array.length t.corners
 
 let events t = t.events
 let evaluations t = t.evals
@@ -158,6 +228,8 @@ let reset_counters t =
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.pruned_evals <- 0;
+  t.lanes_shared <- 0;
+  t.evals_saved <- 0;
   Array.fill t.evals_by_kind 0 n_kinds 0
 
 type counters = {
@@ -179,6 +251,9 @@ type counters = {
   c_nets_clock : int;
   c_nets_data : int;
   c_nets_unknown : int;
+  c_corners : int;
+  c_corner_lanes_shared : int;
+  c_corner_evals_saved : int;
   c_evals_by_kind : (string * int) list;
 }
 
@@ -217,6 +292,9 @@ let counters t =
     c_nets_clock = nck;
     c_nets_data = nd;
     c_nets_unknown = nu;
+    c_corners = Array.length t.corners;
+    c_corner_lanes_shared = t.lanes_shared;
+    c_corner_evals_saved = t.evals_saved;
     c_evals_by_kind =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
   }
@@ -241,6 +319,9 @@ let zero_counters =
     c_nets_clock = 0;
     c_nets_data = 0;
     c_nets_unknown = 0;
+    c_corners = 0;
+    c_corner_lanes_shared = 0;
+    c_corner_evals_saved = 0;
     c_evals_by_kind = [];
   }
 
@@ -281,6 +362,9 @@ let merge_counters a b =
     c_nets_clock = max a.c_nets_clock b.c_nets_clock;
     c_nets_data = max a.c_nets_data b.c_nets_data;
     c_nets_unknown = max a.c_nets_unknown b.c_nets_unknown;
+    c_corners = max a.c_corners b.c_corners;
+    c_corner_lanes_shared = a.c_corner_lanes_shared + b.c_corner_lanes_shared;
+    c_corner_evals_saved = a.c_corner_evals_saved + b.c_corner_evals_saved;
     c_evals_by_kind = merge_by_kind a.c_evals_by_kind b.c_evals_by_kind;
   }
 
@@ -377,6 +461,13 @@ let head_letter = function [] -> Directive.E | l :: _ -> l
 let wire_delay_of t (n : Netlist.net) =
   match n.n_wire_delay with Some d -> d | None -> Netlist.default_wire_delay t.nl
 
+(* Corner scaling with the reference shortcut: a factor of exactly 1.0
+   returns the very same delay value, so the single-corner (and
+   reference-lane) path is byte-identical to the unscaled evaluator. *)
+let scaled f d = if f = 1.0 then d else Delay.scale f d
+
+let lane_dscale t lane = if lane = 0 then t.c0_dscale else t.lanes.(lane - 1).l_dscale
+
 let apply_delay d wf =
   if Delay.equal d Delay.zero then wf
   else
@@ -417,7 +508,7 @@ let input_waveform t (inst : Netlist.inst) i =
           let wf = n.n_value in
           let wf =
             if Directive.zero_wire letter then wf
-            else apply_delay (wire_delay_of t n) wf
+            else apply_delay (scaled t.c0_wscale (wire_delay_of t n)) wf
           in
           t.net_gen.(c.c_net) <- n.n_gen;
           t.net_wf.(c.c_net) <- wf;
@@ -429,12 +520,66 @@ let input_waveform t (inst : Netlist.inst) i =
         let wf = n.n_value in
         let wf = if c.c_invert then Waveform.map Tvalue.lnot wf else wf in
         if Directive.zero_wire letter then wf
-        else apply_delay (wire_delay_of t n) wf
+        else apply_delay (scaled t.c0_wscale (wire_delay_of t n)) wf
       end
     in
     t.cache_gen.(idx) <- n.n_gen;
     t.cache_wf.(idx) <- wf;
     wf
+  end
+
+(* A lane shares lane 0's derived input (and its memo record) when the
+   raw lane waveform is the lane-0 record itself and either the wire
+   scale matches lane 0's or the waveform is a single segment — skew is
+   the only thing a delay can add to a constant, and skew is
+   unobservable on one segment (materialization drops it, the pointwise
+   maps ignore it). *)
+let lane_shares_input t (ln : lane) (n : Netlist.net) =
+  ln.l_value.(n.n_id) == n.n_value
+  && (ln.l_wscale = t.c0_wscale || Waveform.n_segments n.n_value = 1)
+
+let input_waveform_lane t lane (inst : Netlist.inst) i =
+  if lane = 0 then input_waveform t inst i
+  else begin
+    let ln = t.lanes.(lane - 1) in
+    let c = inst.i_inputs.(i) in
+    let n = Netlist.net t.nl c.c_net in
+    if lane_shares_input t ln n then input_waveform t inst i
+    else begin
+      let idx = t.conn_base.(inst.i_id) + i in
+      if ln.l_cache_gen.(idx) = n.n_gen then begin
+        t.cache_hits <- t.cache_hits + 1;
+        ln.l_cache_wf.(idx)
+      end
+      else begin
+        t.cache_misses <- t.cache_misses + 1;
+        let raw = ln.l_value.(c.c_net) in
+        let wf =
+          if (not c.c_invert) && c.c_directive = [] then begin
+            if ln.l_net_gen.(c.c_net) = n.n_gen then ln.l_net_wf.(c.c_net)
+            else begin
+              let letter = head_letter n.n_eval_str in
+              let wf =
+                if Directive.zero_wire letter then raw
+                else apply_delay (scaled ln.l_wscale (wire_delay_of t n)) raw
+              in
+              ln.l_net_gen.(c.c_net) <- n.n_gen;
+              ln.l_net_wf.(c.c_net) <- wf;
+              wf
+            end
+          end
+          else begin
+            let letter = head_letter (effective_directive t inst i) in
+            let wf = if c.c_invert then Waveform.map Tvalue.lnot raw else raw in
+            if Directive.zero_wire letter then wf
+            else apply_delay (scaled ln.l_wscale (wire_delay_of t n)) wf
+          end
+        in
+        ln.l_cache_gen.(idx) <- n.n_gen;
+        ln.l_cache_wf.(idx) <- wf;
+        wf
+      end
+    end
   end
 
 (* ---- primitive models --------------------------------------------------- *)
@@ -554,6 +699,27 @@ let materialized_data t (inst : Netlist.inst) =
     m
   end
 
+let materialized_data_lane t lane (inst : Netlist.inst) =
+  if lane = 0 then materialized_data t inst
+  else
+    let ln = t.lanes.(lane - 1) in
+    let n = Netlist.net t.nl inst.i_inputs.(0).c_net in
+    if lane_shares_input t ln n then materialized_data t inst
+    else begin
+      let id = inst.i_id in
+      if ln.l_mat_gen.(id) = n.n_gen then begin
+        t.cache_hits <- t.cache_hits + 1;
+        ln.l_mat_wf.(id)
+      end
+      else begin
+        t.cache_misses <- t.cache_misses + 1;
+        let m = Waveform.materialize (input_waveform_lane t lane inst 0) in
+        ln.l_mat_gen.(id) <- n.n_gen;
+        ln.l_mat_wf.(id) <- m;
+        m
+      end
+    end
+
 (* Transparent-latch value as a function of the data and enable values
    at an instant; the result is then delayed by the latch delay. *)
 let latch_value d e =
@@ -603,7 +769,12 @@ let paint_change_windows ~period ~d windows wf =
 
 (* ---- instance evaluation ------------------------------------------------ *)
 
-let eval_output t (inst : Netlist.inst) =
+(* One lane's output: the primitive models are corner-invariant; only
+   the element and wire delays differ per lane, so the body is shared
+   and the lane selects the input derivation and the delay scale. *)
+let eval_output_lane t lane (inst : Netlist.inst) =
+  let input i = input_waveform_lane t lane inst i in
+  let sc d = scaled (lane_dscale t lane) d in
   match inst.i_prim with
   | Primitive.Setup_hold_check _ | Primitive.Setup_rise_hold_fall_check _
   | Primitive.Min_pulse_width _ ->
@@ -611,9 +782,9 @@ let eval_output t (inst : Netlist.inst) =
   | Primitive.Const v -> Some (Waveform.const ~period:(period t) v)
   | Primitive.Buf { invert; delay } ->
     let letter = head_letter (effective_directive t inst 0) in
-    let wf = input_waveform t inst 0 in
+    let wf = input 0 in
     let wf = if invert then Waveform.map Tvalue.lnot wf else wf in
-    let d = if Directive.zero_gate letter then Delay.zero else delay in
+    let d = if Directive.zero_gate letter then Delay.zero else sc delay in
     Some (apply_delay d wf)
   | Primitive.Gate { fn; n_inputs; invert; delay } ->
     let letters =
@@ -627,24 +798,22 @@ let eval_output t (inst : Netlist.inst) =
             (* &A / &H: assume the other (control) inputs enable the
                gate, so the output follows the clock alone (§2.6). *)
             Waveform.const ~period:(period t) (enabling_value fn)
-          else input_waveform t inst i)
+          else input i)
     in
     let combined = Waveform.mapn (gate_fold fn) wfs in
     let combined = if invert then Waveform.map Tvalue.lnot combined else combined in
-    let d = if zero_gate then Delay.zero else delay in
+    let d = if zero_gate then Delay.zero else sc delay in
     Some (apply_delay d combined)
   | Primitive.Mux2 { delay; select_extra } ->
-    let a = input_waveform t inst 0
-    and b = input_waveform t inst 1
-    and s = input_waveform t inst 2 in
-    let s = apply_delay select_extra s in
+    let a = input 0 and b = input 1 and s = input 2 in
+    let s = apply_delay (sc select_extra) s in
     let zero_gate =
       List.exists
         (fun i -> Directive.zero_gate (head_letter (effective_directive t inst i)))
         [ 0; 1; 2 ]
     in
     let combined = Waveform.map3 mux_value a b s in
-    let d = if zero_gate then Delay.zero else delay in
+    let d = if zero_gate then Delay.zero else sc delay in
     let out = apply_delay d combined in
     (* A select transition may change the output even when both data
        inputs are stable (their unknown stable values can differ), so
@@ -652,16 +821,17 @@ let eval_output t (inst : Netlist.inst) =
        mux delay. *)
     Some (paint_change_windows ~period:(period t) ~d (Waveform.change_windows s) out)
   | Primitive.Reg { delay; has_set_reset } ->
-    let data_m = lazy (materialized_data t inst) in
-    let clock = input_waveform t inst 1 in
+    let delay = sc delay in
+    let data_m = lazy (materialized_data_lane t lane inst) in
+    let clock = input 1 in
     let out = reg_output ~period:(period t) ~delay ~data_m ~clock in
     if not has_set_reset then Some out
     else
-      let s = apply_delay delay (input_waveform t inst 2)
-      and r = apply_delay delay (input_waveform t inst 3) in
+      let s = apply_delay delay (input 2) and r = apply_delay delay (input 3) in
       Some (Waveform.map3 set_reset_overlay out s r)
   | Primitive.Latch { delay; has_set_reset } ->
-    let data = input_waveform t inst 0 and enable = input_waveform t inst 1 in
+    let delay = sc delay in
+    let data = input 0 and enable = input 1 in
     let out = apply_delay delay (Waveform.map2 latch_value data enable) in
     (* The opening (rising-enable) edge may change the output even with
        stable data: the held value from the previous cycle can differ
@@ -673,8 +843,7 @@ let eval_output t (inst : Netlist.inst) =
     in
     if not has_set_reset then Some out
     else
-      let s = apply_delay delay (input_waveform t inst 2)
-      and r = apply_delay delay (input_waveform t inst 3) in
+      let s = apply_delay delay (input 2) and r = apply_delay delay (input 3) in
       Some (Waveform.map3 set_reset_overlay out s r)
 
 (* The evaluation string passed along with the output value: the rest of
@@ -695,12 +864,39 @@ let output_eval_str t (inst : Netlist.inst) =
   | Primitive.Const _ ->
     []
 
+(* Equality up to skew on a constant: [Waveform.equal] compares the
+   early/late skew window, but on a single-segment waveform skew is
+   unobservable (materialization drops it, [value_at] and the pointwise
+   maps ignore it), so two constants with the same value are the same
+   waveform for every downstream purpose.  Canonicalizing through this
+   lets a lane share the lane-0 record even when a scaled delay left a
+   different (invisible) skew on a constant. *)
+let same_modulo_const_skew a b =
+  a == b || Waveform.equal a b
+  || (Waveform.n_segments a = 1 && Waveform.n_segments b = 1
+     && Waveform.period a = Waveform.period b
+     && Tvalue.equal (Waveform.value_at a 0) (Waveform.value_at b 0))
+
+(* A lane's evaluation of an instance is skippable when every input is
+   pointer-shared with lane 0 *and* constant: delays (however scaled)
+   are invisible on constants, so the lane's output equals the lane-0
+   output exactly. *)
+let lane_eval_skippable t (ln : lane) (inst : Netlist.inst) =
+  let n = Array.length inst.i_inputs in
+  let rec go i =
+    i >= n
+    || (let c = inst.i_inputs.(i) in
+        let nv = (Netlist.net t.nl c.c_net).n_value in
+        ln.l_value.(c.c_net) == nv && Waveform.n_segments nv = 1 && go (i + 1))
+  in
+  go 0
+
 let eval_inst t inst_id =
   let inst = Netlist.inst t.nl inst_id in
   t.evals <- t.evals + 1;
   t.evals_by_kind.(kind_tag inst.i_prim) <-
     t.evals_by_kind.(kind_tag inst.i_prim) + 1;
-  match eval_output t inst with
+  match eval_output_lane t 0 inst with
   | None -> ()
   | Some wf -> (
     match inst.i_output with
@@ -709,8 +905,46 @@ let eval_inst t inst_id =
       let n = Netlist.net t.nl out_id in
       let wf = apply_case t out_id wf in
       let eval_str = output_eval_str t inst in
-      if not (Waveform.equal wf n.n_value) || eval_str <> n.n_eval_str then begin
-        assign n wf eval_str;
+      let changed =
+        not (Waveform.equal wf n.n_value) || eval_str <> n.n_eval_str
+      in
+      (* Lane 0 assigns first so the lanes below canonicalize against
+         the *new* reference waveform. *)
+      if changed then assign n wf eval_str;
+      let lane_changed = ref false in
+      for c = 1 to Array.length t.lanes do
+        let ln = t.lanes.(c - 1) in
+        let prev = ln.l_value.(out_id) in
+        let next =
+          if lane_eval_skippable t ln inst then begin
+            t.evals_saved <- t.evals_saved + 1;
+            n.n_value
+          end
+          else begin
+            let o =
+              apply_case t out_id (Option.get (eval_output_lane t c inst))
+            in
+            (* Converge storage: a lane output equal to the reference
+               (or to its own previous value) keeps the existing record,
+               so pointer inequality below is exact change detection. *)
+            if same_modulo_const_skew o n.n_value then begin
+              if o != n.n_value then t.lanes_shared <- t.lanes_shared + 1;
+              n.n_value
+            end
+            else if same_modulo_const_skew o prev then prev
+            else o
+          end
+        in
+        if next != prev then begin
+          ln.l_value.(out_id) <- next;
+          lane_changed := true
+        end
+      done;
+      if changed || !lane_changed then begin
+        (* A lane-only change must still invalidate the generation-keyed
+           caches and wake the fanout; lane 0's stamp was already bumped
+           by [assign]. *)
+        if not changed then n.n_gen <- n.n_gen + 1;
         t.events <- t.events + 1;
         (match t.on_event with
         | None -> ()
@@ -800,12 +1034,22 @@ let fixpoint t =
      list instead of silently coalescing away its re-evaluations. *)
   if not t.converged then clear_work t
 
+(* (Re-)source a net's lane values from the freshly assigned lane-0
+   waveform: initial values are corner-independent (assertions and case
+   mappings carry no delay), so every lane starts on the shared record. *)
+let reset_lanes t (n : Netlist.net) =
+  for c = 1 to Array.length t.lanes do
+    t.lanes.(c - 1).l_value.(n.n_id) <- n.n_value
+  done
+
 let run ?(case = []) t =
   ensure_sched t;
   if not t.initialized then begin
     t.initialized <- true;
     List.iter (fun (id, v) -> t.case.(id) <- Some v) case;
-    Netlist.iter_nets t.nl (fun n -> assign n (initial_value t n) []);
+    Netlist.iter_nets t.nl (fun n ->
+        assign n (initial_value t n) [];
+        reset_lanes t n);
     Netlist.iter_insts t.nl (fun i -> enqueue t i.i_id)
   end
   else begin
@@ -819,7 +1063,9 @@ let run ?(case = []) t =
           t.case.(id) <- w;
           let n = Netlist.net t.nl id in
           (match n.n_driver with
-          | None -> assign n (initial_value t n) n.n_eval_str
+          | None ->
+            assign n (initial_value t n) n.n_eval_str;
+            reset_lanes t n
           | Some d -> enqueue t d);
           enqueue_fanout t id
         end)
@@ -842,6 +1088,9 @@ let run ?(case = []) t =
 
 let value t id = (Netlist.net t.nl id).n_value
 
+let value_lane t lane id =
+  if lane = 0 then (Netlist.net t.nl id).n_value else t.lanes.(lane - 1).l_value.(id)
+
 (* ---- incremental-service hooks (lib/incr, doc/SERVICE.md) ---------------- *)
 
 (* External generation injection: a service that edits a net's
@@ -861,7 +1110,9 @@ let touch_net t net_id =
 let reassert_net t net_id =
   let n = Netlist.net t.nl net_id in
   (match n.n_driver with
-  | None -> assign n (initial_value t n) n.n_eval_str
+  | None ->
+    assign n (initial_value t n) n.n_eval_str;
+    reset_lanes t n
   | Some d ->
     n.n_gen <- n.n_gen + 1;
     enqueue t d);
@@ -884,22 +1135,23 @@ let enqueue_inst t inst_id = enqueue t inst_id
 
 let net_name t id = (Netlist.net t.nl id).n_name
 
-let check_inst t (inst : Netlist.inst) =
+let check_inst_compute t lane (inst : Netlist.inst) =
+  let input i = input_waveform_lane t lane inst i in
   match inst.i_prim with
   | Primitive.Setup_hold_check { setup; hold } ->
-    let data = input_waveform t inst 0 and ck = input_waveform t inst 1 in
+    let data = input 0 and ck = input 1 in
     Check.check_setup_hold ~inst:inst.i_name
       ~signal:(net_name t inst.i_inputs.(0).c_net)
       ~clock:(net_name t inst.i_inputs.(1).c_net)
       ~setup ~hold ~data ~ck
   | Primitive.Setup_rise_hold_fall_check { setup; hold } ->
-    let data = input_waveform t inst 0 and ck = input_waveform t inst 1 in
+    let data = input 0 and ck = input 1 in
     Check.check_setup_rise_hold_fall ~inst:inst.i_name
       ~signal:(net_name t inst.i_inputs.(0).c_net)
       ~clock:(net_name t inst.i_inputs.(1).c_net)
       ~setup ~hold ~data ~ck
   | Primitive.Min_pulse_width { high; low } ->
-    let wf = input_waveform t inst 0 in
+    let wf = input 0 in
     Check.check_min_pulse_width ~inst:inst.i_name
       ~signal:(net_name t inst.i_inputs.(0).c_net)
       ~high ~low wf
@@ -912,7 +1164,7 @@ let check_inst t (inst : Netlist.inst) =
     in
     List.concat_map
       (fun i ->
-        let gate_wf = input_waveform t inst i in
+        let gate_wf = input i in
         List.concat_map
           (fun j ->
             if j = i || Directive.check_hazard (head_letter (effective_directive t inst j))
@@ -921,23 +1173,82 @@ let check_inst t (inst : Netlist.inst) =
               Check.check_stable_while ~inst:inst.i_name
                 ~signal:(net_name t inst.i_inputs.(j).c_net)
                 ~clock:(net_name t inst.i_inputs.(i).c_net)
-                ~gate_wf
-                (input_waveform t inst j))
+                ~gate_wf (input j))
           (List.init n (fun j -> j)))
       hazard_inputs
   | Primitive.Buf _ | Primitive.Mux2 _ | Primitive.Reg _ | Primitive.Latch _
   | Primitive.Const _ ->
     []
 
+(* Lane verdicts are served from the generation-keyed memo whenever no
+   input net's stamp moved since the last derivation — across the cases
+   of a multi-case run only the dirty cone is re-checked.  The memo is
+   deterministic under case sharding for the same reason the input
+   caches are: warm-start priming replays the preceding case's lane
+   checks, leaving every stamp exactly where the sequential run's did. *)
+let check_inst_lane t lane (inst : Netlist.inst) =
+  if lane = 0 then check_inst_compute t 0 inst
+  else begin
+    let ln = t.lanes.(lane - 1) in
+    let n_in = Array.length inst.i_inputs in
+    if n_in = 0 then []
+    else begin
+      let base = t.conn_base.(inst.i_id) in
+      let rec fresh i =
+        i >= n_in
+        || (ln.l_chk_gen.(base + i)
+              = (Netlist.net t.nl inst.i_inputs.(i).c_net).n_gen
+           && fresh (i + 1))
+      in
+      if fresh 0 then begin
+        t.cache_hits <- t.cache_hits + 1;
+        ln.l_chk.(inst.i_id)
+      end
+      else begin
+        t.cache_misses <- t.cache_misses + 1;
+        let r = check_inst_compute t lane inst in
+        for i = 0 to n_in - 1 do
+          ln.l_chk_gen.(base + i) <-
+            (Netlist.net t.nl inst.i_inputs.(i).c_net).n_gen
+        done;
+        ln.l_chk.(inst.i_id) <- r;
+        r
+      end
+    end
+  end
+
+let check_inst t inst = check_inst_lane t 0 inst
+
 let check_one t inst_id = check_inst t (Netlist.inst t.nl inst_id)
 
-let check_net t net_id =
+let check_net_compute t lane net_id =
   let n = Netlist.net t.nl net_id in
   match n.n_assertion, n.n_driver with
   | Some a, Some _ ->
     Check.check_stable_assertion ~signal:n.n_name ~tb:(Netlist.timebase t.nl) a
-      n.n_value
+      (value_lane t lane net_id)
   | (None | Some _), _ -> []
+
+let check_net_lane t lane net_id =
+  if lane = 0 then check_net_compute t 0 net_id
+  else begin
+    let ln = t.lanes.(lane - 1) in
+    let n = Netlist.net t.nl net_id in
+    if n.n_assertion = None || n.n_driver = None then []
+    else if ln.l_chk_net_gen.(net_id) = n.n_gen then begin
+      t.cache_hits <- t.cache_hits + 1;
+      ln.l_chk_net.(net_id)
+    end
+    else begin
+      t.cache_misses <- t.cache_misses + 1;
+      let r = check_net_compute t lane net_id in
+      ln.l_chk_net_gen.(net_id) <- n.n_gen;
+      ln.l_chk_net.(net_id) <- r;
+      r
+    end
+  end
+
+let check_net t net_id = check_net_lane t 0 net_id
 
 let divergence t =
   if t.converged then []
@@ -962,9 +1273,11 @@ let divergence t =
       };
     ]
 
-let check t =
+let check_lane t lane =
   let acc = ref [] in
-  Netlist.iter_insts t.nl (fun inst -> acc := check_inst t inst :: !acc);
-  Netlist.iter_nets t.nl (fun n -> acc := check_net t n.n_id :: !acc);
+  Netlist.iter_insts t.nl (fun inst -> acc := check_inst_lane t lane inst :: !acc);
+  Netlist.iter_nets t.nl (fun n -> acc := check_net_lane t lane n.n_id :: !acc);
   let base = List.concat (List.rev !acc) in
   divergence t @ base
+
+let check t = check_lane t 0

@@ -51,6 +51,13 @@ val mode : t -> mode
 
 val netlist : t -> Netlist.t
 
+val corners : t -> Corner.table
+(** The corner table captured from the netlist at {!create} time.
+    Corner 0 is the reference: its waveforms and verdicts are those of a
+    plain single-corner run (doc/CORNERS.md). *)
+
+val n_corners : t -> int
+
 val run : ?case:(int * Tvalue.t) list -> t -> unit
 (** Evaluate to a fixpoint under the given case mapping (net id to the
     value substituted for [Stable]; an empty list clears the mapping).
@@ -76,12 +83,29 @@ val check_net : t -> int -> Check.t list
 (** The stable-assertion check of a single net (by id); empty unless the
     net is both asserted and driven. *)
 
+val check_lane : t -> int -> Check.t list
+(** [check_lane t lane] — the full {!check} list evaluated against lane
+    [lane]'s waveforms ([0 <= lane < n_corners]).  [check t] is
+    [check_lane t 0].  The divergence report is shared: convergence is a
+    property of the whole packed run. *)
+
+val check_inst_lane : t -> int -> Netlist.inst -> Check.t list
+(** Per-lane {!check_one} (taking the instance record directly). *)
+
+val check_net_lane : t -> int -> int -> Check.t list
+(** Per-lane {!check_net}: [check_net_lane t lane net_id]. *)
+
 val divergence : t -> Check.t list
 (** The {!Check.No_convergence} report of the most recent {!run}, or
     [[]] if it converged. *)
 
 val value : t -> int -> Waveform.t
-(** Current waveform of a net. *)
+(** Current waveform of a net (the reference corner's). *)
+
+val value_lane : t -> int -> int -> Waveform.t
+(** [value_lane t lane net_id] — the net's waveform on the given corner
+    lane; [value_lane t 0] is {!value}.  Lanes whose waveform equals the
+    reference return the very same record (see [c_corner_lanes_shared]). *)
 
 (** {2 Incremental-service hooks}
 
@@ -119,6 +143,12 @@ val input_waveform : t -> Netlist.inst -> int -> Waveform.t
     evaluation directives applied.  Exposed for reporting (the Figure
     3-11 listing prints the values seen by the checker).  Memoized per
     connection on the driving net's generation stamp. *)
+
+val input_waveform_lane : t -> int -> Netlist.inst -> int -> Waveform.t
+(** Per-lane {!input_waveform}: [input_waveform_lane t lane inst i] is
+    the waveform the instance sees on input [i] with lane [lane]'s
+    wire-delay scale applied.  [input_waveform_lane t 0] is
+    {!input_waveform}. *)
 
 val events : t -> int
 (** Number of events processed so far: an event is an output being given
@@ -179,6 +209,13 @@ type counters = {
   c_nets_clock : int;
   c_nets_data : int;
   c_nets_unknown : int;
+  c_corners : int;  (** corners evaluated per traversal ([1] single-corner) *)
+  c_corner_lanes_shared : int;
+      (** lane outputs that converged to the reference waveform and were
+          stored as the shared record instead of their own *)
+  c_corner_evals_saved : int;
+      (** lane evaluations skipped outright because every input was
+          constant and pointer-shared with the reference lane *)
   c_evals_by_kind : (string * int) list;
       (** evaluations per primitive mnemonic, e.g. [("REG", 42)];
           alphabetical, zero-count kinds omitted *)

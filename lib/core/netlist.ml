@@ -31,6 +31,9 @@ type t = {
   mutable insts : inst array;
   mutable n_insts : int;
   by_name : (string, int) Hashtbl.t;
+  mutable corners : Corner.table;
+      (* the delay corners a verification of this netlist evaluates;
+         corner 0 is the reference (doc/CORNERS.md) *)
   unknown : Waveform.t;
       (* the one all-Unknown waveform every net starts from; waveforms
          are immutable, so sharing it across nets is safe and saves a
@@ -51,6 +54,7 @@ let create ?(defaults = Assertion.s1_defaults) ?(default_wire_delay = Delay.of_n
     insts = [||];
     n_insts = 0;
     by_name = Hashtbl.create 64;
+    corners = Corner.default;
     unknown = Waveform.const ~period:(Timebase.period tb) Tvalue.Unknown;
     prim_cache = Hashtbl.create 64;
   }
@@ -263,6 +267,12 @@ let find_inst t name =
 
 let set_wire_delay_opt t id d = t.nets.(id).n_wire_delay <- d
 let set_assertion t id a = t.nets.(id).n_assertion <- a
+
+let corners t = t.corners
+
+let set_corners t tbl =
+  Corner.validate_table tbl;
+  t.corners <- tbl
 
 let replace_prim t id prim =
   let i = t.insts.(id) in

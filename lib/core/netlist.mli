@@ -154,6 +154,16 @@ val set_wire_delay_opt : t -> int -> Delay.t option -> unit
 val set_assertion : t -> int -> Assertion.t option -> unit
 (** Set, replace or remove a net's timing assertion. *)
 
+val corners : t -> Corner.table
+(** The delay corners a verification of this netlist evaluates; corner 0
+    is the reference.  Defaults to {!Corner.default} (single ["typ"]
+    corner), so existing callers see exactly the historical behaviour. *)
+
+val set_corners : t -> Corner.table -> unit
+(** Install a corner table (SDL [CORNERS] directive, CLI [--corners], or
+    an incremental [corners] edit).  {!copy} carries the table.
+    @raise Invalid_argument on an empty table or duplicate names. *)
+
 val set_element_delay : t -> int -> Delay.t -> unit
 (** Replace the element delay of a gate, buffer, multiplexer, register
     or latch.

@@ -87,17 +87,18 @@ let pulse_entries ~inst ~signal ~required ~kind ~value wf =
                  e_at = wrap p s;
                })
 
-let entries_of_inst ev (inst : Netlist.inst) =
+let entries_of_inst ev lane (inst : Netlist.inst) =
   let nl = Eval.netlist ev in
   let net_name i = (Netlist.net nl inst.Netlist.i_inputs.(i).Netlist.c_net).Netlist.n_name in
   match inst.Netlist.i_prim with
   | Primitive.Setup_hold_check { setup; hold }
   | Primitive.Setup_rise_hold_fall_check { setup; hold } ->
-    let data = Eval.input_waveform ev inst 0 and ck = Eval.input_waveform ev inst 1 in
+    let data = Eval.input_waveform_lane ev lane inst 0
+    and ck = Eval.input_waveform_lane ev lane inst 1 in
     setup_hold_entries ~inst:inst.Netlist.i_name ~signal:(net_name 0) ~clock:(net_name 1)
       ~setup ~hold ~data ~ck
   | Primitive.Min_pulse_width { high; low } ->
-    let wf = Eval.input_waveform ev inst 0 in
+    let wf = Eval.input_waveform_lane ev lane inst 0 in
     pulse_entries ~inst:inst.Netlist.i_name ~signal:(net_name 0) ~required:high
       ~kind:Min_high ~value:Tvalue.V1 wf
     @ pulse_entries ~inst:inst.Netlist.i_name ~signal:(net_name 0) ~required:low
@@ -106,9 +107,10 @@ let entries_of_inst ev (inst : Netlist.inst) =
   | Primitive.Latch _ | Primitive.Const _ ->
     []
 
-let compute ev =
+let compute ?(lane = 0) ev =
   let acc = ref [] in
-  Netlist.iter_insts (Eval.netlist ev) (fun inst -> acc := entries_of_inst ev inst :: !acc);
+  Netlist.iter_insts (Eval.netlist ev) (fun inst ->
+      acc := entries_of_inst ev lane inst :: !acc);
   List.concat !acc |> List.sort (fun a b -> compare a.e_slack b.e_slack)
 
 let worst ev = match compute ev with [] -> None | e :: _ -> Some e
@@ -119,11 +121,14 @@ let critical ev ~below_ns =
 
 let pp ppf entries =
   Format.fprintf ppf "@[<v>SLACK REPORT (most critical first)@,";
-  Format.fprintf ppf "  %-32s %-24s %-16s %9s %9s %8s@," "CHECK" "SIGNAL" "CONSTRAINT"
+  (* Value cells are [%8s ns] = 11 characters, so headers are %11s/%10s:
+     multi-digit (or negative multi-digit) slacks stay in column instead
+     of shoving everything to their right out of alignment. *)
+  Format.fprintf ppf "  %-32s %-24s %-16s %11s %11s %10s@," "CHECK" "SIGNAL" "CONSTRAINT"
     "REQUIRED" "SLACK" "AT";
   List.iter
     (fun e ->
-      Format.fprintf ppf "  %-32s %-24s %-16s %6s ns %6s ns %5s ns%s@,"
+      Format.fprintf ppf "  %-32s %-24s %-16s %8s ns %8s ns %7s ns%s@,"
         e.e_inst e.e_signal (kind_name e.e_kind)
         (Format.asprintf "%a" Timebase.pp_ns e.e_required)
         (Format.asprintf "%a" Timebase.pp_ns e.e_slack)

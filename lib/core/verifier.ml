@@ -30,7 +30,15 @@ type obs_summary = {
   os_nets_clock : int;
   os_nets_data : int;
   os_nets_unknown : int;
+  os_corners : int;
+  os_corner_lanes_shared : int;
+  os_corner_evals_saved : int;
   os_evals_by_kind : (string * int) list;
+}
+
+type corner_result = {
+  co_corner : Corner.t;
+  co_violations : Check.t list;
 }
 
 type probe = {
@@ -43,6 +51,7 @@ type report = {
   r_events : int;
   r_evaluations : int;
   r_violations : Check.t list;
+  r_corners : corner_result list;
   r_converged : bool;
   r_unasserted : string list;
   r_lint : lint_summary option;
@@ -83,8 +92,17 @@ let obs_of_counters (c : Eval.counters) =
     os_nets_clock = c.Eval.c_nets_clock;
     os_nets_data = c.Eval.c_nets_data;
     os_nets_unknown = c.Eval.c_nets_unknown;
+    os_corners = c.Eval.c_corners;
+    os_corner_lanes_shared = c.Eval.c_corner_lanes_shared;
+    os_corner_evals_saved = c.Eval.c_corner_evals_saved;
     os_evals_by_kind = c.Eval.c_evals_by_kind;
   }
+
+(* Per-lane checker verdicts for corners 1..k-1 of the current fixpoint;
+   empty for a single-corner evaluator, so the historical path never
+   runs an extra check pass. *)
+let lane_checks ev =
+  List.init (Eval.n_corners ev - 1) (fun l -> Eval.check_lane ev (l + 1))
 
 (* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
 
@@ -108,15 +126,23 @@ let verify_sequential ~sched ~probe ~analysis ~case_list nl =
     let violations =
       span (Printf.sprintf "check:case%d" (i + 1)) (fun () -> Eval.check ev)
     in
-    {
-      cr_case = case;
-      cr_violations = violations;
-      cr_events = Eval.events ev - before_events;
-      cr_evaluations = Eval.evaluations ev - before_evals;
-      (* sampled per case: a later converging case must not mask an
-         earlier one that hit the evaluation bound *)
-      cr_converged = Eval.converged ev;
-    }
+    let corner_violations =
+      (* no extra span (or work) on the single-corner path: traces must
+         stay identical to the historical ones *)
+      if Eval.n_corners ev = 1 then []
+      else
+        span (Printf.sprintf "check:case%d:corners" (i + 1)) (fun () -> lane_checks ev)
+    in
+    ( {
+        cr_case = case;
+        cr_violations = violations;
+        cr_events = Eval.events ev - before_events;
+        cr_evaluations = Eval.evaluations ev - before_evals;
+        (* sampled per case: a later converging case must not mask an
+           earlier one that hit the evaluation bound *)
+        cr_converged = Eval.converged ev;
+      },
+      corner_violations )
   in
   let results = List.mapi run_case case_list in
   (results, Eval.counters ev, ev)
@@ -170,6 +196,9 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
          to jobs:1. *)
       Eval.run ~case:resolved.(lo - 1) ev;
       ignore (Eval.check ev);
+      (* lane checks fill the per-lane caches too, keeping the measured
+         cache counters identical to jobs:1 at any corner count *)
+      ignore (lane_checks ev);
       Eval.reset_counters ev
     end;
     let buf = ref [] in
@@ -184,13 +213,17 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
           and before_evals = Eval.evaluations ev in
           Eval.run ~case:resolved.(i) ev;
           let violations = Eval.check ev in
-          ( {
-              cr_case = case_arr.(i);
-              cr_violations = violations;
-              cr_events = Eval.events ev - before_events;
-              cr_evaluations = Eval.evaluations ev - before_evals;
-              cr_converged = Eval.converged ev;
-            },
+          let corner_violations =
+            if Eval.n_corners ev = 1 then [] else lane_checks ev
+          in
+          ( ( {
+                cr_case = case_arr.(i);
+                cr_violations = violations;
+                cr_events = Eval.events ev - before_events;
+                cr_evaluations = Eval.evaluations ev - before_evals;
+                cr_converged = Eval.converged ev;
+              },
+              corner_violations ),
             List.rev !buf ))
     in
     (results, Eval.counters ev, ev)
@@ -230,8 +263,11 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   (results, counters, last_ev)
 
 let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
-    ?(prune = true) ?analysis nl =
+    ?(prune = true) ?analysis ?corners nl =
   if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
+  (* Install the corner table before any evaluator (or netlist copy) is
+     created; every domain's evaluator then packs the same lanes. *)
+  (match corners with None -> () | Some tbl -> Netlist.set_corners nl tbl);
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
@@ -261,16 +297,33 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
   in
   let jobs = if jobs = 0 then Par.available () else jobs in
   let jobs = max 1 (min jobs (List.length case_list)) in
-  let results, counters, ev =
+  let paired, counters, ev =
     if jobs = 1 then verify_sequential ~sched ~probe ~analysis ~case_list nl
     else verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl
   in
+  let results = List.map fst paired in
   let all = List.concat_map (fun r -> r.cr_violations) results in
+  let r_violations = dedup_violations all in
+  let corner_tbl = Eval.corners ev in
+  (* Corner 0 shares the headline violation list; the extra corners
+     aggregate their per-case lane verdicts the same way (concatenate in
+     case order, dedup). *)
+  let r_corners =
+    List.init (Array.length corner_tbl) (fun c ->
+        let viols =
+          if c = 0 then r_violations
+          else
+            dedup_violations
+              (List.concat_map (fun (_, lanes) -> List.nth lanes (c - 1)) paired)
+        in
+        { co_corner = corner_tbl.(c); co_violations = viols })
+  in
   {
     r_cases = results;
     r_events = counters.Eval.c_events;
     r_evaluations = counters.Eval.c_evaluations;
-    r_violations = dedup_violations all;
+    r_violations;
+    r_corners;
     r_converged = List.for_all (fun r -> r.cr_converged) results;
     r_unasserted =
       List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
@@ -280,7 +333,20 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
     r_jobs = jobs;
   }
 
-let clean r = r.r_violations = []
+let clean r =
+  List.for_all (fun c -> c.co_violations = []) r.r_corners
+
+let worst_corner r =
+  match r.r_corners with
+  | [] -> None
+  | first :: _ ->
+    (* ties go to the earliest corner in table order *)
+    Some
+      (List.fold_left
+         (fun acc c ->
+           if List.length c.co_violations > List.length acc.co_violations then c
+           else acc)
+         first r.r_corners)
 
 let violations_of_kind kind r =
   List.filter (fun (v : Check.t) -> v.v_kind = kind) r.r_violations
@@ -315,6 +381,23 @@ let pp ppf r =
     Format.fprintf ppf "pruned: %d instances, %d evaluations skipped@,"
       o.os_pruned_insts o.os_pruned_evals
   end;
+  (* The corner section appears only on a multi-corner run, so a
+     single-corner report stays byte-identical to the historical one. *)
+  (match r.r_corners with
+  | [] | [ _ ] -> ()
+  | cs ->
+    Format.fprintf ppf "corners: %d   lane outputs shared: %d   lane evals saved: %d@,"
+      r.r_obs.os_corners r.r_obs.os_corner_lanes_shared r.r_obs.os_corner_evals_saved;
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "corner %a: %d violations@," Corner.pp c.co_corner
+          (List.length c.co_violations))
+      cs;
+    (match worst_corner r with
+    | Some w ->
+      Format.fprintf ppf "worst corner: %s (%d violations)@," w.co_corner.Corner.name
+        (List.length w.co_violations)
+    | None -> ()));
   (match r.r_lint with
   | None -> ()
   | Some l ->

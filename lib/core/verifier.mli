@@ -62,11 +62,23 @@ type obs_summary = {
   os_nets_clock : int;
   os_nets_data : int;
   os_nets_unknown : int;
+  os_corners : int;  (** corners evaluated per traversal ([1] single-corner) *)
+  os_corner_lanes_shared : int;
+      (** lane outputs stored as the shared reference record *)
+  os_corner_evals_saved : int;  (** lane evaluations skipped outright *)
   os_evals_by_kind : (string * int) list;
       (** primitive evaluations per kind mnemonic, alphabetical *)
 }
 (** Always-on evaluator counters (see {!Eval.counters}), carried in the
     report so callers need not hold on to [r_eval] to read them. *)
+
+type corner_result = {
+  co_corner : Corner.t;
+  co_violations : Check.t list;
+      (** deduplicated union over all cases, evaluated on this corner's
+          lane; corner 0's list {e is} [r_violations] *)
+}
+(** Per-corner verdict of a multi-corner run (doc/CORNERS.md). *)
 
 type probe = {
   pr_span : 'a. string -> (unit -> 'a) -> 'a;
@@ -85,7 +97,11 @@ type report = {
   r_cases : case_result list;
   r_events : int;  (** total events over all cases *)
   r_evaluations : int;
-  r_violations : Check.t list;  (** deduplicated union over all cases *)
+  r_violations : Check.t list;
+      (** deduplicated union over all cases (the reference corner's) *)
+  r_corners : corner_result list;
+      (** one entry per corner, in table order; a single entry (sharing
+          [r_violations]) on a single-corner run *)
   r_converged : bool;  (** conjunction of [cr_converged] over all cases *)
   r_unasserted : string list;
       (** cross-reference of undriven, unasserted signals *)
@@ -104,6 +120,7 @@ val verify :
   ?sched:Eval.mode ->
   ?prune:bool ->
   ?analysis:Sched.t * Flow.t ->
+  ?corners:Corner.table ->
   Netlist.t ->
   report
 (** Verify all timing constraints.  With no [cases] (or an empty list) a
@@ -146,10 +163,22 @@ val verify :
     must describe this netlist's structure and cover this run's case
     nets); used by the incremental service, which computes them once per
     session.  Ignored under [~prune:false].
+
+    [corners] installs a delay-corner table on the netlist
+    ({!Netlist.set_corners}) before evaluation, overriding any SDL
+    [CORNERS] directive; all k corners are then propagated in one
+    traversal and the per-corner verdicts land in [r_corners]
+    (doc/CORNERS.md).  Corner 0 is the reference: its violations, order
+    and convergence flags are bit-identical to a plain single-corner run
+    at any [jobs].  CLI: [--corners slow,typ,fast].
     @raise Invalid_argument when [jobs < 0]. *)
 
 val clean : report -> bool
-(** No violations in any case. *)
+(** No violations in any case on any corner. *)
+
+val worst_corner : report -> corner_result option
+(** The corner with the most violations (earliest in table order on a
+    tie); [None] only for a report with no corner entries. *)
 
 val dedup_violations : Check.t list -> Check.t list
 (** Remove exact duplicates (all fields equal), keeping first

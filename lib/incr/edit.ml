@@ -7,6 +7,7 @@ type t =
   | Directive of { inst : string; input : int; directive : Directive.t }
   | Replace_prim of { inst : string; prim : Primitive.t }
   | Cases of Case_analysis.case list
+  | Corners of Corner.table
 
 type applied = {
   a_touched_nets : int list;
@@ -52,6 +53,12 @@ let apply nl = function
     Netlist.replace_prim nl id prim;
     { no_effect with a_touched_insts = [ id ] }
   | Cases cases -> { no_effect with a_cases = Some cases }
+  | Corners tbl ->
+    Netlist.set_corners nl tbl;
+    (* every scaled delay in the design changes: the whole netlist is
+       the dirty cone (the session also rebuilds its evaluator — the
+       lane count is fixed at Eval.create time) *)
+    { no_effect with a_touched_nets = List.init (Netlist.n_nets nl) Fun.id }
 
 (* Validate an edit against a netlist without mutating anything, so a
    [delta] request can be rejected atomically — nothing is staged unless
@@ -109,6 +116,10 @@ let check nl e =
         | exception Invalid_argument m -> Error m)
     in
     go cases
+  | Corners tbl -> (
+    match Corner.validate_table tbl with
+    | () -> Ok ()
+    | exception Invalid_argument m -> Error m)
 
 (* ---- parameter diff (session adoption) ----------------------------------- *)
 
@@ -141,6 +152,8 @@ let diff old_nl new_nl =
           if oc.c_directive <> nc.c_directive then
             acc := Directive { inst = o.i_name; input = k; directive = nc.c_directive } :: !acc)
         o.i_inputs);
+  if not (Corner.table_equal (Netlist.corners old_nl) (Netlist.corners new_nl)) then
+    acc := Corners (Netlist.corners new_nl) :: !acc;
   List.rev !acc
 
 (* ---- JSON decoding (serve protocol, doc/SERVICE.md) ----------------------- *)
@@ -202,6 +215,11 @@ let of_json j =
     let* text = req_str j "text" in
     let* cases = Case_analysis.parse text in
     Ok (Cases cases)
+  | "corners" ->
+    let* spec = req_str j "spec" in
+    (match Corner.of_spec spec with
+    | tbl -> Ok (Corners tbl)
+    | exception Invalid_argument m -> Error m)
   | k -> Error (Printf.sprintf "edit: unknown kind %S" k)
 
 let pp ppf = function
@@ -220,3 +238,4 @@ let pp ppf = function
   | Replace_prim { inst; prim } ->
     Format.fprintf ppf "replace_prim %s := %a" inst Primitive.pp prim
   | Cases cases -> Format.fprintf ppf "cases := %d groups" (List.length cases)
+  | Corners tbl -> Format.fprintf ppf "corners := %s" (Corner.table_to_string tbl)

@@ -24,6 +24,12 @@ type t =
       (** wholesale primitive-parameter change (checker margins, invert,
           a constant's value); used by {!diff} *)
   | Cases of Case_analysis.case list  (** swap the case group *)
+  | Corners of Corner.table
+      (** install a new delay-corner table (doc/CORNERS.md).  Dirties the
+          whole netlist — every scaled delay changes — and makes
+          {!Session.reverify} rebuild its evaluator, since the lane
+          count is fixed at creation.  JSON form:
+          [{"edit":"corners","spec":"slow,typ,fast"}]. *)
 
 type applied = {
   a_touched_nets : int list;

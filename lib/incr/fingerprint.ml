@@ -135,6 +135,9 @@ let dump ~params nl =
           if params then add_directive b c.c_directive)
         i.i_inputs;
       add_opt add_int b i.i_output);
+  (* The corner table is a replayable parameter (Edit.Corners), so it
+     belongs to [digest] but not to [skeleton]. *)
+  if params then add_str b (Corner.table_to_string (Netlist.corners nl));
   Buffer.contents b
 
 let digest nl = Digest.to_hex (Digest.string (dump ~params:true nl))

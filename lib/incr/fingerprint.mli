@@ -24,7 +24,9 @@
 open Scald_core
 
 val digest : Netlist.t -> string
-(** Hex digest of structure plus all parameters. *)
+(** Hex digest of structure plus all parameters, including the delay
+    corner table ({!Scald_core.Netlist.corners}): a corner change is a
+    parameter change and must miss the session cache. *)
 
 val skeleton : Netlist.t -> string
 (** Hex digest of structure only. *)

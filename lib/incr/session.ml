@@ -19,7 +19,9 @@ type t = {
   s_skeleton : string;
   s_sched : Sched.t;
   s_mode : Eval.mode;
-  s_ev : Eval.t;
+  (* mutable: a [Corners] edit changes the lane count, which is fixed at
+     [Eval.create] time, so [reverify] swaps in a fresh evaluator *)
+  mutable s_ev : Eval.t;
   (* observation hook shared by every request of the session: spans
      emitted here inherit whatever lane the serve loop set, so traces
      attribute each phase to its request *)
@@ -209,7 +211,7 @@ let dirty_cone nl ~seed_nets ~seed_insts =
   (inst_dirty, net_dirty)
 
 let reverify ?(carry_counters = true) t =
-  let nl = t.s_nl and ev = t.s_ev in
+  let nl = t.s_nl in
   (* [span] stays let-bound polymorphic, like the wrapper in
      [Verifier.verify]: it wraps unit-, pair- and list-returning
      phases below. *)
@@ -218,8 +220,6 @@ let reverify ?(carry_counters = true) t =
     match t.s_probe with None -> f () | Some p -> p.Verifier.pr_span name f
   in
   t.s_requests <- t.s_requests + 1;
-  Eval.reset_counters ev;
-  Eval.count_request ev;
   let edits = List.rev t.s_pending in
   t.s_pending <- [];
   (* 1. apply the staged edits, collecting cone seeds *)
@@ -240,6 +240,21 @@ let reverify ?(carry_counters = true) t =
     t.s_cases <- cs;
     t.s_case_nets <- resolved_case_nets nl cs
   | None -> ());
+  (* A corners edit changed the lane count, which is fixed at
+     [Eval.create] time: swap in a fresh evaluator (cold — its first run
+     below re-initializes every net, bumping every generation stamp) and
+     drop the cached verdicts wholesale.  The cumulative counters keep
+     accumulating across the swap. *)
+  if not (Corner.table_equal (Eval.corners t.s_ev) (Netlist.corners nl)) then begin
+    let fresh = Eval.create ~mode:t.s_mode ~sched:t.s_sched nl in
+    Eval.set_event_hook fresh (Eval.event_hook t.s_ev);
+    t.s_ev <- fresh;
+    Array.fill t.v_inst 0 (Array.length t.v_inst) None;
+    Array.fill t.v_net 0 (Array.length t.v_net) None
+  end;
+  let ev = t.s_ev in
+  Eval.reset_counters ev;
+  Eval.count_request ev;
   let touched_nets = List.sort_uniq compare !touched_nets in
   let reinit_nets = List.sort_uniq compare !reinit_nets in
   let touched_insts = List.sort_uniq compare !touched_insts in
@@ -286,25 +301,46 @@ let reverify ?(carry_counters = true) t =
       span (Printf.sprintf "check:case%d" (i + 1)) (fun () -> cached_check t)
     in
     warm := !warm + hits;
-    {
-      Verifier.cr_case = case;
-      cr_violations = violations;
-      cr_events = Eval.events ev - before_events;
-      cr_evaluations = Eval.evaluations ev - before_evals;
-      cr_converged = Eval.converged ev;
-    }
+    (* the extra corners are checked uncached: the verdict caches key on
+       lane-0 stamps only, and lane stamps share them *)
+    let corner_violations =
+      if Eval.n_corners ev = 1 then []
+      else List.init (Eval.n_corners ev - 1) (fun l -> Eval.check_lane ev (l + 1))
+    in
+    ( {
+        Verifier.cr_case = case;
+        cr_violations = violations;
+        cr_events = Eval.events ev - before_events;
+        cr_evaluations = Eval.evaluations ev - before_evals;
+        cr_converged = Eval.converged ev;
+      },
+      corner_violations )
   in
-  let results = List.mapi run_case case_list in
+  let paired = List.mapi run_case case_list in
+  let results = List.map fst paired in
   (* 5. merge counters and rebuild the report in Verifier.verify's shape *)
   let c = Eval.counters ev in
   t.s_cum <- Eval.merge_counters t.s_cum c;
   let all = List.concat_map (fun r -> r.Verifier.cr_violations) results in
+  let r_violations = Verifier.dedup_violations all in
+  let corner_tbl = Eval.corners ev in
+  let r_corners =
+    List.init (Array.length corner_tbl) (fun cidx ->
+        let viols =
+          if cidx = 0 then r_violations
+          else
+            Verifier.dedup_violations
+              (List.concat_map (fun (_, lanes) -> List.nth lanes (cidx - 1)) paired)
+        in
+        { Verifier.co_corner = corner_tbl.(cidx); co_violations = viols })
+  in
   let report =
     {
       Verifier.r_cases = results;
       r_events = c.Eval.c_events;
       r_evaluations = c.Eval.c_evaluations;
-      r_violations = Verifier.dedup_violations all;
+      r_violations;
+      r_corners;
       r_converged = List.for_all (fun r -> r.Verifier.cr_converged) results;
       r_unasserted =
         List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);

@@ -7,7 +7,7 @@ type metrics = {
   m_phases : (string * float) list;
 }
 
-let schema_version = "scald-metrics/3"
+let schema_version = "scald-metrics/4"
 
 (* A duplicate key — a caller's [extra] colliding with a built-in, or
    with itself — would serialize as two identical JSON fields: valid
@@ -49,6 +49,9 @@ let of_report ?(phases = []) ?(extra = []) (r : Verifier.report) =
                (fun (c : Verifier.case_result) -> not c.Verifier.cr_converged)
                r.Verifier.r_cases) );
         ("jobs", r.Verifier.r_jobs);
+        ("corners", r.Verifier.r_obs.Verifier.os_corners);
+        ("corner_lanes_shared", r.Verifier.r_obs.Verifier.os_corner_lanes_shared);
+        ("corner_evals_saved", r.Verifier.r_obs.Verifier.os_corner_evals_saved);
         ("violations", List.length r.Verifier.r_violations);
         ("unasserted", List.length r.Verifier.r_unasserted);
       ]

@@ -31,6 +31,9 @@ type top_stmt =
   | Wire_rule of (float * float) * (float * float)
   | Wire_delay of sigref * (float * float)
   | Width_decl of sigref * int
+  | Corners of (string * float list) list
+      (* CORNERS slow, typ, hot = 1.4/1.2; — each entry a name with
+         optional delay[/wire] scales; a bare name must be a preset *)
   | Macro of macro_def
   | Top_instance of instance
 

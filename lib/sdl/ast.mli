@@ -67,6 +67,10 @@ type top_stmt =
   | Wire_delay of sigref * (float * float)
       (** [WIRE DELAY (ADR<0:3>) = 0.0/6.0;] *)
   | Width_decl of sigref * int  (** [WIDTH (W DATA .S0-6) = 32;] *)
+  | Corners of (string * float list) list
+      (** [CORNERS slow, typ, hot = 1.4/1.2;] — each entry names a delay
+          corner with optional delay[/wire] scale factors; a bare name
+          must be one of the presets ([slow], [typ], [fast]) *)
   | Macro of macro_def
   | Top_instance of instance
 

@@ -136,13 +136,33 @@ type settings = {
   mutable clock_unit_ns : float option;
   mutable default_wire : float * float;
   mutable wire_rule : ((float * float) * (float * float)) option;
+  mutable corners : (string * float list) list option;
   macros : (string, Ast.macro_def) Hashtbl.t;
 }
+
+(* A CORNERS entry list into a validated table, reusing the CLI codec so
+   SDL and [--corners] accept the same names and presets. *)
+let corner_table_of entries =
+  let part (name, scales) =
+    match scales with
+    | [] -> name
+    | [ d ] -> Printf.sprintf "%s=%g" name d
+    | [ d; w ] -> Printf.sprintf "%s=%g/%g" name d w
+    | _ -> fail "CORNERS %s: expected dscale[/wscale]" name
+  in
+  match Corner.of_spec (String.concat "," (List.map part entries)) with
+  | tbl -> tbl
+  | exception Invalid_argument m -> fail "CORNERS: %s" m
+
+let apply_corners settings nl =
+  match settings.corners with
+  | None -> ()
+  | Some entries -> Netlist.set_corners nl (corner_table_of entries)
 
 let collect_settings design =
   let s =
     { period_ns = None; clock_unit_ns = None; default_wire = (0.0, 2.0);
-      wire_rule = None; macros = Hashtbl.create 16 }
+      wire_rule = None; corners = None; macros = Hashtbl.create 16 }
   in
   List.iter
     (fun stmt ->
@@ -151,6 +171,7 @@ let collect_settings design =
       | Ast.Clock_unit u -> s.clock_unit_ns <- Some u
       | Ast.Default_wire (a, b) -> s.default_wire <- (a, b)
       | Ast.Wire_rule (base, per_load) -> s.wire_rule <- Some (base, per_load)
+      | Ast.Corners cs -> s.corners <- Some cs
       | Ast.Macro m ->
         if Hashtbl.mem s.macros m.Ast.m_name then
           fail "line %d: macro %S defined twice" m.Ast.m_line m.Ast.m_name;
@@ -424,7 +445,7 @@ let expand ?defaults design =
           match stmt with
           | Ast.Top_instance i -> walk_instance settings top_frame 0 stats emit i
           | Ast.Period _ | Ast.Clock_unit _ | Ast.Default_wire _ | Ast.Wire_rule _
-          | Ast.Wire_delay _ | Ast.Width_decl _ | Ast.Macro _ ->
+          | Ast.Wire_delay _ | Ast.Width_decl _ | Ast.Corners _ | Ast.Macro _ ->
             ())
         design;
       stats
@@ -465,7 +486,7 @@ let expand ?defaults design =
           let id = Netlist.signal nl s.Ast.name in
           Netlist.set_width nl id w
         | Ast.Period _ | Ast.Clock_unit _ | Ast.Default_wire _ | Ast.Wire_rule _
-        | Ast.Macro _ | Ast.Top_instance _ ->
+        | Ast.Corners _ | Ast.Macro _ | Ast.Top_instance _ ->
           ())
       design;
     (* The refined interconnection rule fills every remaining net from
@@ -477,6 +498,7 @@ let expand ?defaults design =
       ignore
         (Wire_rule.apply nl
            (Wire_rule.loaded ~base:(Delay.of_ns b1 b2) ~per_load:(Delay.of_ns p1 p2))));
+    apply_corners settings nl;
     Netlist.trim nl;
     Ok
       {
@@ -527,7 +549,7 @@ let expand_stream ?defaults src =
   try
     let settings =
       { period_ns = None; clock_unit_ns = None; default_wire = (0.0, 2.0);
-        wire_rule = None; macros = Hashtbl.create 16 }
+        wire_rule = None; corners = None; macros = Hashtbl.create 16 }
     in
     let stats =
       (* No signal table or synonym structure: the distinct-signal
@@ -584,6 +606,9 @@ let expand_stream ?defaults src =
           | Ast.Clock_unit u -> settings.clock_unit_ns <- Some u
           | Ast.Default_wire (a, b) -> settings.default_wire <- (a, b)
           | Ast.Wire_rule (base, per_load) -> settings.wire_rule <- Some (base, per_load)
+          (* corners never affect expansion (no snapshot guard needed):
+             the table is installed once, after the stream *)
+          | Ast.Corners cs -> settings.corners <- Some cs
           | Ast.Macro m ->
             if Hashtbl.mem settings.macros m.Ast.m_name then
               fail "line %d: macro %S defined twice" m.Ast.m_line m.Ast.m_name;
@@ -621,6 +646,7 @@ let expand_stream ?defaults src =
           ignore
             (Wire_rule.apply nl
                (Wire_rule.loaded ~base:(Delay.of_ns b1 b2) ~per_load:(Delay.of_ns p1 p2))));
+        apply_corners settings nl;
         Netlist.trim nl;
         Ok
           {

@@ -296,6 +296,34 @@ let parse_top st =
     let per_load = parse_pair st in
     expect st Lexer.Semi "';'";
     Ast.Wire_rule (base, per_load)
+  | Lexer.Word w when keyword_is w "CORNERS" ->
+    advance st;
+    let rec entries acc =
+      match peek st with
+      | Lexer.Word name ->
+        advance st;
+        let scales =
+          match peek st with
+          | Lexer.Equals -> (
+            advance st;
+            match peek st with
+            | Lexer.Word v ->
+              advance st;
+              parse_floats st v
+            | t -> fail st "expected corner scales, found %a" Lexer.pp_token t)
+          | _ -> []
+        in
+        let e = (name, scales) in
+        (match peek st with
+        | Lexer.Comma ->
+          advance st;
+          entries (e :: acc)
+        | _ -> List.rev (e :: acc))
+      | t -> fail st "expected a corner name, found %a" Lexer.pp_token t
+    in
+    let es = entries [] in
+    expect st Lexer.Semi "';'";
+    Ast.Corners es
   | Lexer.Word w
     when keyword_is w "WIDTH" && peek2 st = Lexer.Lparen ->
     advance st;

@@ -351,6 +351,49 @@ let test_session_cases_swap () =
   Alcotest.(check bool) "swap back equals cold" true
     (verdicts_equal report' (Verifier.verify ~cases:cases0 (build_circuit ())))
 
+let test_session_corners_edit () =
+  let corners = Corner.of_spec "typ,slow,hot=1.4/1.2" in
+  let s = Session.load (build_circuit ()) in
+  let base_digest = Session.digest s in
+  Session.stage s (Edit.Corners corners);
+  let report, _ = Session.reverify s in
+  let cold = edited_cold [ Edit.Corners corners ] in
+  Alcotest.(check bool) "corners edit equals cold" true (verdicts_equal report cold);
+  Alcotest.(check int) "three corner verdicts" 3
+    (List.length report.Verifier.r_corners);
+  List.iter2
+    (fun (a : Verifier.corner_result) (b : Verifier.corner_result) ->
+      Alcotest.(check string) "corner order preserved"
+        b.Verifier.co_corner.Corner.name a.Verifier.co_corner.Corner.name;
+      Alcotest.(check bool)
+        (a.Verifier.co_corner.Corner.name ^ " lane verdicts equal cold") true
+        (a.Verifier.co_violations = b.Verifier.co_violations))
+    report.Verifier.r_corners cold.Verifier.r_corners;
+  (* the table is a replayable parameter (doc/CORNERS.md): the digest
+     moves with it, the skeleton doesn't *)
+  let edited = build_circuit () in
+  ignore (Edit.apply edited (Edit.Corners corners));
+  Alcotest.(check bool) "corner table moves the digest" true
+    (Session.digest s <> base_digest);
+  Alcotest.(check string) "digest tracks the edit" (Fingerprint.digest edited)
+    (Session.digest s);
+  Alcotest.(check string) "but not the skeleton"
+    (Fingerprint.skeleton (build_circuit ()))
+    (Fingerprint.skeleton edited);
+  (* shrinking back to the single-corner default re-creates the lanes
+     and lands exactly where the session started *)
+  Session.stage s (Edit.Corners Corner.default);
+  let report', _ = Session.reverify s in
+  Alcotest.(check bool) "revert equals a fresh single-corner load" true
+    (verdicts_equal report' (Session.report (Session.load (build_circuit ()))));
+  (match report'.Verifier.r_corners with
+  | [ c ] ->
+    Alcotest.(check string) "only the reference corner left" "typ"
+      c.Verifier.co_corner.Corner.name
+  | cs ->
+    Alcotest.failf "expected a single corner entry, got %d" (List.length cs));
+  Alcotest.(check string) "and the original digest" base_digest (Session.digest s)
+
 let test_session_counters_carry () =
   let s = Session.load (build_circuit ()) in
   Session.stage s (Edit.Wire_delay { signal = "DATA"; delay = Some (Delay.of_ns 0.5 9.0) });
@@ -756,6 +799,8 @@ let suite =
       test_session_assertion_and_revert;
     Alcotest.test_case "session no-op re-verify" `Quick test_session_noop_reverify;
     Alcotest.test_case "session case-group swap" `Quick test_session_cases_swap;
+    Alcotest.test_case "session corners edit and revert" `Quick
+      test_session_corners_edit;
     Alcotest.test_case "session counters carry" `Quick test_session_counters_carry;
     Alcotest.test_case "store warm/adopt/cold" `Quick test_store_warm_adopt_cold;
     Alcotest.test_case "serve protocol" `Quick test_serve_protocol;

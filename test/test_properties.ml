@@ -101,6 +101,89 @@ let waveforms nl ev =
   Array.to_list (Netlist.nets nl)
   |> List.map (fun (n : Netlist.net) -> Eval.value ev n.Netlist.n_id)
 
+(* ---- multi-corner packing (doc/CORNERS.md) ----------------------------------- *)
+
+(* Random netgen design + random corner table + scheduler/sharding
+   choice: the reference lane of a packed k-corner run must reproduce a
+   dedicated single-corner run of corner 0 exactly — violations, per-case
+   results, convergence and the final reference waveforms. *)
+type corner_recipe = {
+  co_seed : int;
+  co_chips : int;
+  co_broken : int;
+  co_spec : string;
+  co_fifo : bool;
+  co_jobs : int;
+}
+
+let gen_corner_recipe =
+  let open QCheck.Gen in
+  let gen =
+    let* co_seed = int_range 1 500 in
+    let* co_chips = int_range 5 40 in
+    let* co_broken = int_range 0 2 in
+    let* k = int_range 1 3 in
+    let scale = map (fun s -> float_of_int s /. 100.) (int_range 50 200) in
+    let* ref_scales = pair scale scale in
+    let* lane_scales = list_repeat k (pair scale scale) in
+    let spec =
+      (ref_scales :: lane_scales)
+      |> List.mapi (fun i (d, w) -> Printf.sprintf "c%d=%.2f/%.2f" i d w)
+      |> String.concat ","
+    in
+    let* co_fifo = bool in
+    let* co_jobs = oneofl [ 1; 3 ] in
+    return { co_seed; co_chips; co_broken; co_spec = spec; co_fifo; co_jobs }
+  in
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "seed %d, %d chips, %d broken, corners %s, %s, -j %d"
+        c.co_seed c.co_chips c.co_broken c.co_spec
+        (if c.co_fifo then "fifo" else "level")
+        c.co_jobs)
+    gen
+
+let corner_lane0_matches_scalar c =
+  let d =
+    Netgen.generate
+      (Netgen.scaled ~seed:c.co_seed ~broken_registers:c.co_broken
+         ~chips:c.co_chips ())
+  in
+  let nl = (Netgen.to_netlist d).Scald_sdl.Expander.e_netlist in
+  let cases =
+    let found = ref [] in
+    Netlist.iter_nets nl (fun n ->
+        if
+          List.length !found < 2
+          && String.length n.Netlist.n_name >= 3
+          && String.sub n.Netlist.n_name 0 3 = "IN "
+        then found := n.Netlist.n_name :: !found);
+    Case_analysis.complete_exn (List.rev !found)
+  in
+  let sched = if c.co_fifo then Eval.Fifo else Eval.Level in
+  let corners = Corner.of_spec c.co_spec in
+  let render vs = List.map (Format.asprintf "%a" Check.pp) vs in
+  let snapshot (r : Verifier.report) =
+    (* captured before the next verify mutates the shared netlist *)
+    ( render r.Verifier.r_violations,
+      List.map
+        (fun (cr : Verifier.case_result) ->
+          (render cr.Verifier.cr_violations, cr.Verifier.cr_converged))
+        r.Verifier.r_cases,
+      r.Verifier.r_converged,
+      waveforms nl r.Verifier.r_eval )
+  in
+  let packed =
+    snapshot (Verifier.verify ~cases ~jobs:c.co_jobs ~sched ~corners nl)
+  in
+  let scalar =
+    snapshot
+      (Verifier.verify ~cases ~jobs:c.co_jobs ~sched
+         ~corners:(Array.sub corners 0 1) nl)
+  in
+  let pv, pc, pok, pw = packed and sv, sc, sok, sw = scalar in
+  pv = sv && pc = sc && pok = sok && List.for_all2 Waveform.equal pw sw
+
 (* ---- the properties ------------------------------------------------------------ *)
 
 let properties =
@@ -173,6 +256,8 @@ let properties =
         Eval.run ev;
         let render vs = List.map (Format.asprintf "%a" Check.pp) vs in
         render (Eval.check ev) = render (Eval.check ev));
+    prop ~count:20 "packed lane 0 equals a scalar single-corner run"
+      gen_corner_recipe corner_lane0_matches_scalar;
     prop ~count:1000 "per-edge delay stays within the envelope" gen_zero_skew_waveform
       (fun w ->
         (* wherever the envelope-delayed waveform claims stability, the
