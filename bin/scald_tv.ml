@@ -16,7 +16,8 @@ let read_file path =
 
 let run file case_file jobs sched corners summary xref quiet paths corr_advice prob
     slack diagram vcd_out phys lint lint_only lint_fatal lint_json profile_out
-    metrics_out explain trace_buffer no_prune classes =
+    metrics_out explain trace_buffer no_prune classes no_window_prune merge_cases
+    windows =
   (* The observability layer is built only when asked for; with every
      obs flag off the verifier sees no probe and the evaluator's event
      hook stays None (the zero-overhead contract of doc/OBSERVABILITY.md). *)
@@ -46,6 +47,12 @@ let run file case_file jobs sched corners summary xref quiet paths corr_advice p
       (* Static listing only: classify and exit without evaluating, so
          the dump also works on designs that would not converge. *)
       Format.printf "%a@." Flow.pp_classes (Flow.analyse nl);
+      exit 0
+    end;
+    if windows then begin
+      (* Same contract as --classes: the arrival-window listing is
+         static, so it also works on designs that would not converge. *)
+      Format.printf "%a@." Window.pp_windows (Window.analyse nl);
       exit 0
     end;
     if not quiet then
@@ -101,7 +108,8 @@ let run file case_file jobs sched corners summary xref quiet paths corr_advice p
     let report =
       Verifier.verify
         ?probe:(Option.map Scald_obs.Obs.probe obs)
-        ?corners ~cases ~jobs:(max 0 jobs) ~sched ~prune:(not no_prune) nl
+        ?corners ~cases ~jobs:(max 0 jobs) ~sched ~prune:(not no_prune)
+        ~window_prune:(not no_window_prune) ~merge_cases nl
     in
     if summary then Format.printf "@.%a@." Report.pp_summary report.Verifier.r_eval;
     if diagram then
@@ -369,12 +377,39 @@ let classes =
   in
   Arg.(value & flag & info [ "classes" ] ~doc)
 
+let no_window_prune =
+  let doc =
+    "Disable window pruning: evaluate and check every checker dynamically \
+     instead of serving the verdicts the static arrival-window analysis \
+     proved at every corner (doc/WINDOWS.md).  Window pruning never changes \
+     the verdict; this flag exists to measure it and to rule it out."
+  in
+  Arg.(value & flag & info [ "no-window-prune" ] ~doc)
+
+let merge_cases =
+  let doc =
+    "Partition the case list by window signature and evaluate one \
+     representative per equivalence class — two cases with equal signatures \
+     provably produce identical waveforms on every net (doc/WINDOWS.md).  \
+     The per-case listing then holds the representatives only."
+  in
+  Arg.(value & flag & info [ "merge-cases" ] ~doc)
+
+let windows =
+  let doc =
+    "Print the arrival-window listing — every net's conservative transition \
+     windows at the reference corner with the witness that seeded them, and \
+     the static proof summary (checkers proven, guaranteed violations, \
+     asserted nets proven) — and exit without evaluating."
+  in
+  Arg.(value & flag & info [ "windows" ] ~doc)
+
 let verify_term =
   Term.(
     const run $ file $ case_file $ jobs $ sched $ corners $ summary $ xref $ quiet $ paths
     $ corr_advice $ prob $ slack $ diagram $ vcd_out $ phys $ lint $ lint_only
     $ lint_fatal $ lint_json $ profile_out $ metrics_out $ explain $ trace_buffer
-    $ no_prune $ classes)
+    $ no_prune $ classes $ no_window_prune $ merge_cases $ windows)
 
 let verify_cmd =
   let doc = "verify one design and print the error listing (the default command)" in
@@ -382,7 +417,7 @@ let verify_cmd =
 
 let serve_metrics =
   let doc =
-    "On shutdown, write the final run metrics (scald-metrics/4, with the \
+    "On shutdown, write the final run metrics (scald-metrics/5, with the \
      $(b,incr_*)/$(b,svc_*)/$(b,mem_*) service counters) as JSON to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)

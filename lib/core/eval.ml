@@ -107,9 +107,17 @@ type t = {
      proved inert are frozen after the first run and skipped at enqueue
      time.  [frozen] stays all-false without a [flow] table. *)
   flow : Flow.t option;
-  frozen : Bytes.t;  (* packed booleans, one byte per instance *)
+  (* Window pruning (doc/WINDOWS.md): checkers the arrival-window
+     analysis proved at every corner are frozen from creation — their
+     verdicts are served statically by the check functions below.
+     [frozen] is three-valued: '\000' live, '\001' flow-frozen,
+     '\002' window-frozen, so the two prunes count separately. *)
+  mutable window : Window.t option;
+  frozen : Bytes.t;  (* '\000' live / '\001' flow / '\002' window *)
   mutable froze : bool;
   mutable pruned_evals : int;
+  mutable window_evals : int;
+  mutable window_checks : int;
   mutable requests : int;
   mutable events : int;
   mutable evals : int;
@@ -122,7 +130,7 @@ type t = {
   mutable initialized : bool;
 }
 
-let create ?(mode = Level) ?sched ?flow nl =
+let create ?(mode = Level) ?sched ?flow ?window nl =
   let n_insts = Netlist.n_insts nl in
   let conn_base = Array.make (max 1 n_insts) 0 in
   let n_conns = ref 0 in
@@ -192,9 +200,25 @@ let create ?(mode = Level) ?sched ?flow nl =
     cache_hits = 0;
     cache_misses = 0;
     flow;
-    frozen = Bytes.make (max 1 n_insts) '\000';
+    window;
+    frozen =
+      (let b = Bytes.make (max 1 n_insts) '\000' in
+       (match window with
+       | Some w ->
+         (* Statically proven checkers never need evaluating: their
+            verdict is served by [check_inst_lane], and evaluating a
+            checker computes nothing (no output net).  Frozen before the
+            first run — unlike flow pruning, which must see every
+            instance evaluated once. *)
+         for id = 0 to n_insts - 1 do
+           if Window.inst_proven w id then Bytes.unsafe_set b id '\002'
+         done
+       | None -> ());
+       b);
     froze = false;
     pruned_evals = 0;
+    window_evals = 0;
+    window_checks = 0;
     requests = 0;
     events = 0;
     evals = 0;
@@ -228,6 +252,8 @@ let reset_counters t =
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.pruned_evals <- 0;
+  t.window_evals <- 0;
+  t.window_checks <- 0;
   t.lanes_shared <- 0;
   t.evals_saved <- 0;
   Array.fill t.evals_by_kind 0 n_kinds 0
@@ -254,6 +280,12 @@ type counters = {
   c_corners : int;
   c_corner_lanes_shared : int;
   c_corner_evals_saved : int;
+  c_window_insts : int;
+  c_window_nets : int;
+  c_window_unbounded : int;
+  c_window_lanes_static : int;
+  c_window_evals : int;
+  c_window_checks : int;
   c_evals_by_kind : (string * int) list;
 }
 
@@ -295,6 +327,16 @@ let counters t =
     c_corners = Array.length t.corners;
     c_corner_lanes_shared = t.lanes_shared;
     c_corner_evals_saved = t.evals_saved;
+    c_window_insts =
+      (match t.window with Some w -> Window.n_insts_proven w | None -> 0);
+    c_window_nets =
+      (match t.window with Some w -> Window.n_nets_proven w | None -> 0);
+    c_window_unbounded =
+      (match t.window with Some w -> snd (Window.counts w) | None -> 0);
+    c_window_lanes_static =
+      (match t.window with Some w -> Window.n_lanes_static w | None -> 0);
+    c_window_evals = t.window_evals;
+    c_window_checks = t.window_checks;
     c_evals_by_kind =
       List.sort (fun (a, _) (b, _) -> String.compare a b) !by_kind;
   }
@@ -322,6 +364,12 @@ let zero_counters =
     c_corners = 0;
     c_corner_lanes_shared = 0;
     c_corner_evals_saved = 0;
+    c_window_insts = 0;
+    c_window_nets = 0;
+    c_window_unbounded = 0;
+    c_window_lanes_static = 0;
+    c_window_evals = 0;
+    c_window_checks = 0;
     c_evals_by_kind = [];
   }
 
@@ -365,6 +413,13 @@ let merge_counters a b =
     c_corners = max a.c_corners b.c_corners;
     c_corner_lanes_shared = a.c_corner_lanes_shared + b.c_corner_lanes_shared;
     c_corner_evals_saved = a.c_corner_evals_saved + b.c_corner_evals_saved;
+    (* the proof-shape fields are properties of the analysis: max *)
+    c_window_insts = max a.c_window_insts b.c_window_insts;
+    c_window_nets = max a.c_window_nets b.c_window_nets;
+    c_window_unbounded = max a.c_window_unbounded b.c_window_unbounded;
+    c_window_lanes_static = max a.c_window_lanes_static b.c_window_lanes_static;
+    c_window_evals = a.c_window_evals + b.c_window_evals;
+    c_window_checks = a.c_window_checks + b.c_window_checks;
     c_evals_by_kind = merge_by_kind a.c_evals_by_kind b.c_evals_by_kind;
   }
 
@@ -409,10 +464,12 @@ let ensure_sched t =
     end
 
 let enqueue t inst_id =
-  if Bytes.unsafe_get t.frozen inst_id <> '\000' then
+  let fz = Bytes.unsafe_get t.frozen inst_id in
+  if fz <> '\000' then
     (* a frozen instance is never on the work list, so every skipped
        request is exactly one avoided evaluation *)
-    t.pruned_evals <- t.pruned_evals + 1
+    if fz = '\002' then t.window_evals <- t.window_evals + 1
+    else t.pruned_evals <- t.pruned_evals + 1
   else begin
     t.queued <- t.queued + 1;
     if Bytes.unsafe_get t.in_queue inst_id <> '\000' then t.coalesced <- t.coalesced + 1
@@ -1082,7 +1139,9 @@ let run ?(case = []) t =
   | Some f when not t.froze ->
     t.froze <- true;
     for id = 0 to Netlist.n_insts t.nl - 1 do
-      if Flow.prunable f id then Bytes.unsafe_set t.frozen id '\001'
+      (* never downgrade a window freeze to a flow freeze *)
+      if Flow.prunable f id && Bytes.unsafe_get t.frozen id = '\000' then
+        Bytes.unsafe_set t.frozen id '\001'
     done
   | Some _ | None -> ()
 
@@ -1128,6 +1187,27 @@ let refreeze t ~active =
     Bytes.unsafe_set t.frozen id (if active id then '\000' else '\001')
   done;
   t.froze <- true
+
+(* Re-apply the window freeze after [refreeze] rebuilt the byte map: a
+   checker the (possibly updated) analysis still proves stays statically
+   served even inside the thawed cone — its verdict cannot move.  The
+   incremental service calls this right after [refreeze], once
+   [Window.update] has absorbed the edit. *)
+let rewindow t =
+  match t.window with
+  | None -> ()
+  | Some w ->
+    for id = 0 to Netlist.n_insts t.nl - 1 do
+      if Window.inst_proven w id then Bytes.unsafe_set t.frozen id '\002'
+      else if Bytes.unsafe_get t.frozen id = '\002' then
+        (* no longer proven: thaw so the next run evaluates it *)
+        Bytes.unsafe_set t.frozen id '\000'
+    done
+
+(* A [Cases] edit changes the volatile-net set, which is fixed when the
+   window table is built: the service swaps in a re-analysed table here
+   and the next [rewindow] re-derives the frozen set from it. *)
+let set_window t w = t.window <- w
 
 let enqueue_inst t inst_id = enqueue t inst_id
 
@@ -1187,6 +1267,14 @@ let check_inst_compute t lane (inst : Netlist.inst) =
    caches are: warm-start priming replays the preceding case's lane
    checks, leaving every stamp exactly where the sequential run's did. *)
 let check_inst_lane t lane (inst : Netlist.inst) =
+  match t.window with
+  | Some w when Window.inst_proven w inst.i_id ->
+    (* statically proven clean at every corner: serve the verdict the
+       dynamic check would compute (verdict equality argued in
+       doc/WINDOWS.md, pinned by the QCheck soundness property) *)
+    t.window_checks <- t.window_checks + 1;
+    []
+  | _ ->
   if lane = 0 then check_inst_compute t 0 inst
   else begin
     let ln = t.lanes.(lane - 1) in
@@ -1230,6 +1318,11 @@ let check_net_compute t lane net_id =
   | (None | Some _), _ -> []
 
 let check_net_lane t lane net_id =
+  match t.window with
+  | Some w when Window.net_proven w net_id ->
+    t.window_checks <- t.window_checks + 1;
+    []
+  | _ ->
   if lane = 0 then check_net_compute t 0 net_id
   else begin
     let ln = t.lanes.(lane - 1) in

@@ -33,7 +33,8 @@ type mode =
   | Fifo  (** historical FIFO relaxation *)
   | Level  (** level-ordered sweep, FIFO inside feedback components *)
 
-val create : ?mode:mode -> ?sched:Sched.t -> ?flow:Flow.t -> Netlist.t -> t
+val create :
+  ?mode:mode -> ?sched:Sched.t -> ?flow:Flow.t -> ?window:Window.t -> Netlist.t -> t
 (** [mode] defaults to {!Level}.  [sched] supplies a precomputed
     schedule (it must describe the same structure, e.g. the original of
     a {!Netlist.copy}); without it, {!Level} mode computes one at the
@@ -45,7 +46,15 @@ val create : ?mode:mode -> ?sched:Sched.t -> ?flow:Flow.t -> Netlist.t -> t
     by every later enqueue.  The analysis must describe the same
     structure and must have been given the union of the mapped nets of
     every case that will be run ([Flow.analyse ~case_nets]); both modes
-    honour it.  Without [flow] nothing is ever frozen. *)
+    honour it.  Without [flow] nothing is ever frozen.
+
+    [window] enables arrival-window pruning (doc/WINDOWS.md): checkers
+    the analysis statically proves clean at every corner
+    ({!Window.inst_proven}) are frozen from creation and their empty
+    verdicts served without evaluation on every lane; nets whose stable
+    assertions are proven ({!Window.net_proven}) are served likewise.
+    The analysis must describe the same structure and have been given
+    the same [~case_nets] union as [flow]. *)
 
 val mode : t -> mode
 
@@ -130,6 +139,20 @@ val refreeze : t -> active:(int -> bool) -> unit
     [active id].  The incremental service thaws exactly the dirty cone
     of an edit and freezes everything else — instances outside the cone
     already hold their fixpoint waveforms from the previous run. *)
+
+val rewindow : t -> unit
+(** Re-apply the window freeze after {!refreeze} rebuilt the frozen set:
+    checkers the (possibly {!Window.update}d) analysis still proves stay
+    statically served even inside the thawed cone, and checkers no
+    longer proven are thawed so the next run re-checks them.  A no-op
+    without a [window]. *)
+
+val set_window : t -> Window.t option -> unit
+(** Swap the window analysis the evaluator serves static verdicts from.
+    Used on a case-group edit, where the volatile-net set baked into the
+    table changes and {!Window.update} cannot absorb it; follow with
+    {!rewindow} (after {!refreeze}) so the frozen set matches the new
+    proofs. *)
 
 val enqueue_inst : t -> int -> unit
 (** Put one instance on the work list for the next {!run} (a no-op if
@@ -216,6 +239,21 @@ type counters = {
   c_corner_evals_saved : int;
       (** lane evaluations skipped outright because every input was
           constant and pointer-shared with the reference lane *)
+  c_window_insts : int;
+      (** checkers statically proven clean by the window analysis and
+          frozen from creation; [0] without a window table *)
+  c_window_nets : int;
+      (** driven nets whose stable assertion is statically proven *)
+  c_window_unbounded : int;
+      (** nets with [Top] windows at the reference corner *)
+  c_window_lanes_static : int;
+      (** extra corner lanes whose window map is identical to the
+          reference's — provably shareable before any evaluation *)
+  c_window_evals : int;
+      (** evaluations skipped on window-frozen checkers *)
+  c_window_checks : int;
+      (** checker/assertion verdicts served statically instead of
+          computed *)
   c_evals_by_kind : (string * int) list;
       (** evaluations per primitive mnemonic, e.g. [("REG", 42)];
           alphabetical, zero-count kinds omitted *)

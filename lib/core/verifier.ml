@@ -33,6 +33,13 @@ type obs_summary = {
   os_corners : int;
   os_corner_lanes_shared : int;
   os_corner_evals_saved : int;
+  os_window_insts : int;
+  os_window_nets : int;
+  os_window_unbounded : int;
+  os_window_lanes_static : int;
+  os_window_evals : int;
+  os_window_checks : int;
+  os_cases_merged : int;
   os_evals_by_kind : (string * int) list;
 }
 
@@ -95,6 +102,13 @@ let obs_of_counters (c : Eval.counters) =
     os_corners = c.Eval.c_corners;
     os_corner_lanes_shared = c.Eval.c_corner_lanes_shared;
     os_corner_evals_saved = c.Eval.c_corner_evals_saved;
+    os_window_insts = c.Eval.c_window_insts;
+    os_window_nets = c.Eval.c_window_nets;
+    os_window_unbounded = c.Eval.c_window_unbounded;
+    os_window_lanes_static = c.Eval.c_window_lanes_static;
+    os_window_evals = c.Eval.c_window_evals;
+    os_window_checks = c.Eval.c_window_checks;
+    os_cases_merged = 0;  (* overridden by [verify] when merging is on *)
     os_evals_by_kind = c.Eval.c_evals_by_kind;
   }
 
@@ -106,7 +120,7 @@ let lane_checks ev =
 
 (* ---- the sequential engine (jobs = 1, the §2.7 baseline) ----------------- *)
 
-let verify_sequential ~sched ~probe ~analysis ~case_list nl =
+let verify_sequential ~sched ~probe ~analysis ~window ~case_list nl =
   (* [span] must stay let-bound polymorphic (it wraps both unit and
      list-returning phases), so each engine rebuilds it from [probe]
      rather than taking it as a (monomorphic) argument. *)
@@ -114,7 +128,7 @@ let verify_sequential ~sched ~probe ~analysis ~case_list nl =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
   let schedule = Option.map fst analysis and flow = Option.map snd analysis in
-  let ev = Eval.create ~mode:sched ?sched:schedule ?flow nl in
+  let ev = Eval.create ~mode:sched ?sched:schedule ?flow ?window nl in
   (match probe with
   | Some { pr_event = Some _ as h; _ } -> Eval.set_event_hook ev h
   | Some { pr_event = None; _ } | None -> ());
@@ -155,7 +169,7 @@ let verify_sequential ~sched ~probe ~analysis ~case_list nl =
    measured case starts from exactly the state the sequential run would
    have given it — per-case event counts, violations and the merged
    counters are then identical to [jobs:1] (doc/PARALLEL.md). *)
-let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
+let verify_parallel ~sched ~probe ~analysis ~window ~case_list ~jobs nl =
   let span : 'a. string -> (unit -> 'a) -> 'a =
    fun name f -> match probe with None -> f () | Some p -> p.pr_span name f
   in
@@ -187,7 +201,9 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   in
   let run_shard k =
     let lo, hi = shards.(k) in
-    let ev = Eval.create ~mode:sched ?sched:schedule ?flow netlists.(k) in
+    (* the window table, like the flow, is structural and read-only:
+       every domain queries the shared one by id *)
+    let ev = Eval.create ~mode:sched ?sched:schedule ?flow ?window netlists.(k) in
     if lo > 0 then begin
       (* Warm-start priming: un-measured, un-hooked, un-counted.  The
          check pass is replayed too: it fills the input-waveform cache
@@ -263,7 +279,8 @@ let verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl =
   (results, counters, last_ev)
 
 let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
-    ?(prune = true) ?analysis ?corners nl =
+    ?(prune = true) ?(window_prune = true) ?(merge_cases = false) ?analysis
+    ?window ?corners nl =
   if jobs < 0 then invalid_arg "Verifier.verify: jobs must be >= 0";
   (* Install the corner table before any evaluator (or netlist copy) is
      created; every domain's evaluator then packs the same lanes. *)
@@ -280,26 +297,59 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
   (* One static analysis per netlist, shared read-only by every
      evaluation domain.  The flow must know every net any case of this
      run may substitute, so nothing in a case-mapped cone is frozen. *)
+  let case_nets =
+    lazy
+      (List.concat_map
+         (fun c -> List.map fst (Case_analysis.resolve nl c))
+         case_list)
+  in
   let analysis =
     if not prune then None
     else
       match analysis with
       | Some _ -> analysis
       | None ->
-        let case_nets =
-          List.concat_map
-            (fun c -> List.map fst (Case_analysis.resolve nl c))
-            case_list
-        in
         let schedule = Sched.compute nl in
         Some
-          (schedule, span "flow" (fun () -> Flow.analyse ~sched:schedule ~case_nets nl))
+          ( schedule,
+            span "flow" (fun () ->
+                Flow.analyse ~sched:schedule ~case_nets:(Lazy.force case_nets) nl)
+          )
   in
+  (* The arrival-window analysis (doc/WINDOWS.md) shares the flow's
+     schedule when one exists.  Its case-net union covers every case of
+     the run, so the proofs are valid for all of them. *)
+  let window =
+    if not window_prune && not merge_cases then None
+    else
+      match window with
+      | Some _ -> window
+      | None ->
+        let schedule = Option.map fst analysis in
+        Some
+          (span "window" (fun () ->
+               Window.analyse ?sched:schedule ~case_nets:(Lazy.force case_nets) nl))
+  in
+  (* Case-equivalence merging: the representative's verdicts stand for
+     its whole class, so only representatives are evaluated; the dropped
+     count is reported in [r_obs.os_cases_merged]. *)
+  let case_list, n_cases_merged =
+    match window with
+    | Some w when merge_cases ->
+      Case_analysis.partition
+        ~signature:(fun c -> Window.case_signature w (Case_analysis.resolve nl c))
+        case_list
+    | Some _ | None -> (case_list, 0)
+  in
+  let eval_window = if window_prune then window else None in
   let jobs = if jobs = 0 then Par.available () else jobs in
   let jobs = max 1 (min jobs (List.length case_list)) in
   let paired, counters, ev =
-    if jobs = 1 then verify_sequential ~sched ~probe ~analysis ~case_list nl
-    else verify_parallel ~sched ~probe ~analysis ~case_list ~jobs nl
+    if jobs = 1 then
+      verify_sequential ~sched ~probe ~analysis ~window:eval_window ~case_list nl
+    else
+      verify_parallel ~sched ~probe ~analysis ~window:eval_window ~case_list ~jobs
+        nl
   in
   let results = List.map fst paired in
   let all = List.concat_map (fun r -> r.cr_violations) results in
@@ -328,7 +378,7 @@ let verify ?lint ?probe ?(cases = []) ?(jobs = 1) ?(sched = Eval.Level)
     r_unasserted =
       List.map (fun (n : Netlist.net) -> n.n_name) (Netlist.undriven_unasserted nl);
     r_lint = lint_summary;
-    r_obs = obs_of_counters counters;
+    r_obs = { (obs_of_counters counters) with os_cases_merged = n_cases_merged };
     r_eval = ev;
     r_jobs = jobs;
   }
@@ -381,6 +431,16 @@ let pp ppf r =
     Format.fprintf ppf "pruned: %d instances, %d evaluations skipped@,"
       o.os_pruned_insts o.os_pruned_evals
   end;
+  (* Static proof shape only: the line is identical across job counts
+     and across cold/serve replays of the same design. *)
+  if o.os_window_insts + o.os_window_nets + o.os_window_lanes_static
+     + o.os_cases_merged > 0
+  then
+    Format.fprintf ppf
+      "windows: %d checkers proven, %d nets proven, %d lanes static, %d cases \
+       merged@,"
+      o.os_window_insts o.os_window_nets o.os_window_lanes_static
+      o.os_cases_merged;
   (* The corner section appears only on a multi-corner run, so a
      single-corner report stays byte-identical to the historical one. *)
   (match r.r_corners with

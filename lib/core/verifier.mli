@@ -66,6 +66,23 @@ type obs_summary = {
   os_corner_lanes_shared : int;
       (** lane outputs stored as the shared reference record *)
   os_corner_evals_saved : int;  (** lane evaluations skipped outright *)
+  os_window_insts : int;
+      (** checkers statically proven clean by the arrival-window
+          analysis (doc/WINDOWS.md); [0] under [~window_prune:false] *)
+  os_window_nets : int;
+      (** driven nets whose stable assertion is statically proven *)
+  os_window_unbounded : int;
+      (** nets with unbounded ([Top]) windows at the reference corner *)
+  os_window_lanes_static : int;
+      (** extra corner lanes statically proven identical to the
+          reference's window map *)
+  os_window_evals : int;
+      (** evaluations skipped on window-frozen checkers *)
+  os_window_checks : int;
+      (** checker/assertion verdicts served statically *)
+  os_cases_merged : int;
+      (** cases dropped as window-equivalent to an evaluated
+          representative; [0] unless [~merge_cases:true] *)
   os_evals_by_kind : (string * int) list;
       (** primitive evaluations per kind mnemonic, alphabetical *)
 }
@@ -119,7 +136,10 @@ val verify :
   ?jobs:int ->
   ?sched:Eval.mode ->
   ?prune:bool ->
+  ?window_prune:bool ->
+  ?merge_cases:bool ->
   ?analysis:Sched.t * Flow.t ->
+  ?window:Window.t ->
   ?corners:Corner.table ->
   Netlist.t ->
   report
@@ -159,10 +179,29 @@ val verify :
     (fewer evaluations and enqueues, [os_pruned_insts] /
     [os_pruned_evals] non-zero).  CLI: [--no-prune].
 
+    [window_prune] (default [true]) runs the static arrival-window
+    analysis ({!Window.analyse}, doc/WINDOWS.md) and serves the verdicts
+    of checkers it proves clean at every corner without evaluating them
+    — composing with [prune] (different freeze reasons are counted
+    separately) and with multi-corner lanes (proofs quantify over the
+    whole table).  Like [prune], it never changes the verdict: reports
+    are bit-identical to [~window_prune:false] at any [jobs]; only the
+    work counters differ ([os_window_*]).  CLI: [--no-window-prune].
+
+    [merge_cases] (default [false]) partitions the case list by
+    {!Window.case_signature} and evaluates one representative per
+    equivalence class — two cases with equal signatures provably produce
+    identical waveforms on every net.  The dropped count is reported in
+    [os_cases_merged]; [r_cases] then holds the representatives only.
+    CLI: [--merge-cases].
+
     [analysis] supplies a precomputed schedule and flow analysis (they
     must describe this netlist's structure and cover this run's case
     nets); used by the incremental service, which computes them once per
-    session.  Ignored under [~prune:false].
+    session.  Ignored under [~prune:false].  [window] likewise supplies
+    a precomputed window analysis (kept current across edits with
+    {!Window.update}); ignored when both [window_prune] and
+    [merge_cases] are off.
 
     [corners] installs a delay-corner table on the netlist
     ({!Netlist.set_corners}) before evaluation, overriding any SDL

@@ -19,6 +19,10 @@ type t = {
   s_skeleton : string;
   s_sched : Sched.t;
   s_mode : Eval.mode;
+  (* mutable: kept current across edits with [Window.update]; rebuilt
+     wholesale on a [Cases] or [Corners] edit, which change the
+     volatile-net set resp. the lane count baked into the table *)
+  mutable s_window : Window.t;
   (* mutable: a [Corners] edit changes the lane count, which is fixed at
      [Eval.create] time, so [reverify] swaps in a fresh evaluator *)
   mutable s_ev : Eval.t;
@@ -106,8 +110,10 @@ let load ?(mode = Eval.Level) ?(cases = []) ?probe nl =
   let sched = Sched.compute nl in
   let case_nets = resolved_case_nets nl cases in
   let flow = Flow.analyse ~sched ~case_nets nl in
+  let window = Window.analyse ~sched ~case_nets nl in
   let report =
-    Verifier.verify ~cases ~jobs:1 ?probe ~sched:mode ~analysis:(sched, flow) nl
+    Verifier.verify ~cases ~jobs:1 ?probe ~sched:mode ~analysis:(sched, flow)
+      ~window nl
   in
   let ev = report.Verifier.r_eval in
   let t =
@@ -118,6 +124,7 @@ let load ?(mode = Eval.Level) ?(cases = []) ?probe nl =
       s_skeleton = Fingerprint.skeleton nl;
       s_sched = sched;
       s_mode = mode;
+      s_window = window;
       s_ev = ev;
       s_probe = probe;
       s_fp = Fingerprint.cones ~sched nl;
@@ -245,12 +252,26 @@ let reverify ?(carry_counters = true) t =
      below re-initializes every net, bumping every generation stamp) and
      drop the cached verdicts wholesale.  The cumulative counters keep
      accumulating across the swap. *)
+  let window_rebuilt = ref false in
+  let reanalyse_window () =
+    t.s_window <- Window.analyse ~sched:t.s_sched ~case_nets:t.s_case_nets nl;
+    window_rebuilt := true
+  in
   if not (Corner.table_equal (Eval.corners t.s_ev) (Netlist.corners nl)) then begin
-    let fresh = Eval.create ~mode:t.s_mode ~sched:t.s_sched nl in
+    (* the lane count is baked into the window table too *)
+    reanalyse_window ();
+    let fresh =
+      Eval.create ~mode:t.s_mode ~sched:t.s_sched ~window:t.s_window nl
+    in
     Eval.set_event_hook fresh (Eval.event_hook t.s_ev);
     t.s_ev <- fresh;
     Array.fill t.v_inst 0 (Array.length t.v_inst) None;
     Array.fill t.v_net 0 (Array.length t.v_net) None
+  end
+  else if !new_cases <> None then begin
+    (* the volatile-net set is baked into the window table *)
+    reanalyse_window ();
+    Eval.set_window t.s_ev (Some t.s_window)
   end;
   let ev = t.s_ev in
   Eval.reset_counters ev;
@@ -276,11 +297,36 @@ let reverify ?(carry_counters = true) t =
           (fun nid -> (Netlist.net nl nid).n_driver)
           (reinit_nets @ old_case_nets @ t.s_case_nets))
   in
-  (* 2. thaw exactly the dirty cone, freeze everything else *)
+  (* Absorb parameter edits into the window table (a [Cases]/[Corners]
+     edit already rebuilt it above).  An edited instance contributes its
+     own nets: the output so a delay edit re-dilates the cone, the
+     inputs so [Window.update] re-proves the instance itself (a checker
+     whose margins changed has no output net to dirty). *)
+  if not !window_rebuilt then begin
+    let inst_nets =
+      List.concat_map
+        (fun id ->
+          let i = Netlist.inst nl id in
+          let ins =
+            Array.to_list
+              (Array.map (fun (c : Netlist.conn) -> c.Netlist.c_net) i.i_inputs)
+          in
+          match i.i_output with Some o -> o :: ins | None -> ins)
+        touched_insts
+    in
+    match touched_nets @ reinit_nets @ inst_nets with
+    | [] -> ()
+    | ds -> ignore (Window.update t.s_window ~dirty_nets:(List.sort_uniq compare ds))
+  end;
+  (* 2. thaw exactly the dirty cone, freeze everything else; then
+     re-apply the window freeze from the just-updated proofs — checkers
+     still proven stay statically served even inside the thawed cone,
+     checkers no longer proven thaw and re-check *)
   let net_dirty =
     span "cone" (fun () ->
         let inst_dirty, net_dirty = dirty_cone nl ~seed_nets ~seed_insts in
         Eval.refreeze ev ~active:(fun id -> inst_dirty.(id));
+        Eval.rewindow ev;
         net_dirty)
   in
   (* 3. inject the edits into the evaluator: bump stamps, wake cones *)

@@ -13,7 +13,8 @@
 val audit : ?rules:Rules.rule list -> Scald_core.Netlist.t -> Lint_report.t
 (** Run the given rules (default: the full {!Rules.all} catalogue) over
     a netlist.  Purely structural: the netlist is not evaluated and not
-    modified.  Findings come back sorted most severe first. *)
+    modified.  Findings come back sorted by rule id then locus name
+    (see {!Lint_report.compare_finding}). *)
 
 val summary : Scald_core.Netlist.t -> Scald_core.Verifier.lint_summary
 (** Adapter for {!Scald_core.Verifier.verify}'s [?lint] argument:

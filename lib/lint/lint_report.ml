@@ -38,13 +38,13 @@ let rule_ids t =
 let by_rule id t = List.filter (fun f -> f.f_rule = id) t.findings
 
 let compare_finding a b =
-  let c = compare (severity_rank a.f_severity) (severity_rank b.f_severity) in
+  let c = String.compare a.f_rule b.f_rule in
   if c <> 0 then c
   else
-    let c = String.compare a.f_rule b.f_rule in
+    let c = String.compare (locus_name a.f_locus) (locus_name b.f_locus) in
     if c <> 0 then c
     else
-      let c = String.compare (locus_name a.f_locus) (locus_name b.f_locus) in
+      let c = compare (severity_rank a.f_severity) (severity_rank b.f_severity) in
       if c <> 0 then c else String.compare a.f_message b.f_message
 
 let severity_tag = function

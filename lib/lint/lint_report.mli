@@ -21,7 +21,8 @@ type finding = {
 }
 
 type t = {
-  findings : finding list;  (** sorted most severe first (see {!compare_finding}) *)
+  findings : finding list;
+      (** sorted by rule id then locus name (see {!compare_finding}) *)
   nets_audited : int;
   insts_audited : int;
 }
@@ -45,8 +46,10 @@ val rule_ids : t -> string list
 val by_rule : string -> t -> finding list
 
 val compare_finding : finding -> finding -> int
-(** Severity first (errors before warnings before infos), then rule id,
-    then locus name. *)
+(** Rule id first, then locus name, then severity and message.  Keyed on
+    stable identifiers only, so golden listings survive changes to how
+    individual rules enumerate the netlist (memoized analyses, iteration
+    order). *)
 
 val pp_finding : Format.formatter -> finding -> unit
 (** One finding as two lines: the message line and the fix hint. *)

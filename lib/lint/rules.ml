@@ -585,6 +585,121 @@ let check_k7 nl =
       end);
   List.rev !acc
 
+(* ---- W rules: static arrival-window analysis (doc/WINDOWS.md) ------------- *)
+
+(* One window analysis per netlist, memoized like [flow_for]: the driver
+   runs each W rule over the same netlist value. *)
+let window_cache : (Netlist.t * Window.t) option ref = ref None
+
+let window_for nl =
+  match !window_cache with
+  | Some (nl', w) when nl' == nl -> w
+  | _ ->
+    let w = Window.analyse nl in
+    window_cache := Some (nl, w);
+    w
+
+(* W1: a stable assertion the computed windows already satisfy — the
+   check can never fire, so the constraint documents nothing the
+   structure does not prove.  Informational: harmless, but worth knowing
+   when auditing what the assertion set actually pins down. *)
+let check_w1 nl =
+  let w = window_for nl in
+  let acc = ref [] in
+  Netlist.iter_nets nl (fun n ->
+      if Window.net_proven w n.Netlist.n_id then
+        acc :=
+          finding "W1" R.Info (R.Net n.Netlist.n_name)
+            "stable assertion statically satisfied at every corner — the check can never fire (vacuous constraint)"
+            "the windows prove it: tighten the assertion if it should bind, or drop it if it only restates the structure"
+          :: !acc);
+  List.rev !acc
+
+(* W2: a checker whose fan-in windows prove it clean at every corner —
+   provably always-satisfied.  Gated on every input cone actually being
+   constrained by an assertion, so a proof resting only on the §2.5
+   stable assumption (which W4 questions) does not also fire here. *)
+let check_w2 nl =
+  let w = window_for nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      if
+        Window.inst_proven w i.Netlist.i_id
+        && Array.for_all
+             (fun (c : Netlist.conn) -> Window.constrained w c.Netlist.c_net)
+             i.Netlist.i_inputs
+      then
+        acc :=
+          finding "W2" R.Info (R.Inst i.Netlist.i_name)
+            "checker statically proven satisfied at every corner — evaluation is skipped (window pruning)"
+            "no action needed; --no-window-prune re-checks it dynamically"
+          :: !acc);
+  List.rev !acc
+
+(* W3: the dual — both checker inputs reconstruct exactly and the real
+   check fails at every corner.  The violation is guaranteed before any
+   evaluation; reported as an error so a lint-only pass already catches
+   it. *)
+let check_w3 nl =
+  let w = window_for nl in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      if Window.inst_guaranteed w i.Netlist.i_id then
+        acc :=
+          finding "W3" R.Error (R.Inst i.Netlist.i_name)
+            "timing violation guaranteed at every corner: the asserted input waveforms already violate the constraint"
+            "fix the assertion windows or the checker margins — no delay assignment can satisfy this check"
+          :: !acc);
+  List.rev !acc
+
+(* W4: a checker input whose window rests on nothing — no assertion
+   anywhere in its cone (only the §2.5 stable assumption), or an
+   unbounded (feedback-widened) window.  Either way the checker's
+   verdict hangs on defaults rather than stated constraints. *)
+let check_w4 nl =
+  let w = window_for nl in
+  let seen = Array.make (max 1 (Netlist.n_nets nl)) false in
+  let acc = ref [] in
+  Netlist.iter_insts nl (fun i ->
+      if Primitive.is_checker i.Netlist.i_prim then
+        Array.iter
+          (fun (c : Netlist.conn) ->
+            let id = c.Netlist.c_net in
+            if not seen.(id) then begin
+              let unconstrained = not (Window.constrained w id) in
+              let unbounded = Window.unbounded w id in
+              if unconstrained || unbounded then begin
+                seen.(id) <- true;
+                let msg =
+                  if unbounded then
+                    "checker input has an unbounded arrival window (feedback widening) — the verdict is not pinned by any stated constraint"
+                  else
+                    "checker input cone carries no assertion — its window rests solely on the §2.5 stable assumption"
+                in
+                acc :=
+                  finding "W4" R.Warning (R.Net (net_name nl id)) msg
+                    "assert the cone's primary inputs (or the signal itself) so the window is grounded in stated constraints"
+                  :: !acc
+              end
+            end)
+          i.Netlist.i_inputs);
+  List.rev !acc
+
+(* W5: a declared stable interval the computed windows contradict — every
+   possible transition of the net lands inside an asserted-stable span,
+   so whenever the signal moves at all, the assertion is violated. *)
+let check_w5 nl =
+  let w = window_for nl in
+  let acc = ref [] in
+  Netlist.iter_nets nl (fun n ->
+      if Window.net_contradicted w n.Netlist.n_id then
+        acc :=
+          finding "W5" R.Warning (R.Net n.Netlist.n_name)
+            "stable assertion contradicts the computed arrival windows: every possible transition falls inside a declared stable interval"
+            "the declared window and the structure disagree — move the stable interval or re-time the driving path"
+          :: !acc);
+  List.rev !acc
+
 (* ---- catalogue ------------------------------------------------------------- *)
 
 let all =
@@ -617,6 +732,16 @@ let all =
       severity = R.Warning; check = check_k6 };
     { id = "K7"; title = "clocks not gated by data of their own domain";
       section = "2.6"; severity = R.Warning; check = check_k7 };
+    { id = "W1"; title = "no vacuous stable assertions";
+      section = "doc/WINDOWS.md"; severity = R.Info; check = check_w1 };
+    { id = "W2"; title = "checkers not provably always-satisfied";
+      section = "doc/WINDOWS.md"; severity = R.Info; check = check_w2 };
+    { id = "W3"; title = "no statically guaranteed violations";
+      section = "doc/WINDOWS.md"; severity = R.Error; check = check_w3 };
+    { id = "W4"; title = "checker input windows bounded and constrained";
+      section = "doc/WINDOWS.md"; severity = R.Warning; check = check_w4 };
+    { id = "W5"; title = "stable assertions consistent with arrival windows";
+      section = "doc/WINDOWS.md"; severity = R.Warning; check = check_w5 };
   ]
 
 let find id =

@@ -173,7 +173,10 @@ let netgen_cases nl =
 let test_prune_counters_surface () =
   let nl = netgen_nl 1 in
   let cases = netgen_cases nl in
-  let r = Verifier.verify ~cases nl in
+  (* window pruning off: this test isolates the flow-pruning counters
+     (window-frozen checkers would otherwise absorb the skipped enqueues
+     into os_window_evals — see test_window.ml) *)
+  let r = Verifier.verify ~cases ~window_prune:false nl in
   Alcotest.(check bool) "instances were frozen" true
     (r.Verifier.r_obs.Verifier.os_pruned_insts > 0);
   Alcotest.(check bool) "evaluations were skipped" true
@@ -186,7 +189,7 @@ let test_prune_counters_surface () =
     + r.Verifier.r_obs.Verifier.os_nets_unknown
   in
   Alcotest.(check int) "every net classified" (Netlist.n_nets nl) total_nets;
-  let off = Verifier.verify ~cases ~prune:false nl in
+  let off = Verifier.verify ~cases ~prune:false ~window_prune:false nl in
   Alcotest.(check int) "prune:false freezes nothing" 0
     (off.Verifier.r_obs.Verifier.os_pruned_insts
     + off.Verifier.r_obs.Verifier.os_pruned_evals);

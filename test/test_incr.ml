@@ -394,6 +394,58 @@ let test_session_corners_edit () =
     Alcotest.failf "expected a single corner entry, got %d" (List.length cs));
   Alcotest.(check string) "and the original digest" base_digest (Session.digest s)
 
+(* IN .S0-4 -> BUF -> D ; SETUP HOLD CHK (D, CK .P2-3).  At the default
+   delays the checker is statically proven clean by the arrival-window
+   analysis (doc/WINDOWS.md) and window-frozen from load. *)
+let build_window_circuit ?(d_wire = None) () =
+  let nl =
+    Netlist.create
+      (Timebase.make ~period_ns:50.0 ~clock_unit_ns:6.25)
+      ~default_wire_delay:(Delay.of_ns 0.0 2.0)
+  in
+  let inp = Netlist.signal nl "IN .S0-4" in
+  let ck = Netlist.signal nl "CK .P2-3" in
+  let d = Netlist.signal nl "D" in
+  (match d_wire with None -> () | Some w -> Netlist.set_wire_delay_opt nl d (Some w));
+  ignore
+    (Netlist.add nl ~name:"U0"
+       (Primitive.Buf { invert = false; delay = Delay.of_ns 1.0 2.0 })
+       ~inputs:[ Netlist.conn inp ] ~output:(Some d));
+  ignore
+    (Netlist.add nl ~name:"CHK"
+       (Primitive.Setup_hold_check
+          { setup = Timebase.ps_of_ns 2.5; hold = Timebase.ps_of_ns 1.5 })
+       ~inputs:[ Netlist.conn d; Netlist.conn ck ]
+       ~output:None);
+  nl
+
+let test_session_window_prune_tracks_edits () =
+  let s = Session.load (build_window_circuit ()) in
+  let r0 = Session.report s in
+  Alcotest.(check int) "checker statically proven at load" 1
+    r0.Verifier.r_obs.Verifier.os_window_insts;
+  Alcotest.(check int) "no violations while proven" 0
+    (List.length r0.Verifier.r_violations);
+  (* a wire-delay edit inside the pruned cone withdraws the proof: the
+     checker thaws, re-checks dynamically, and reports exactly what a
+     cold run on the edited netlist reports *)
+  let slow = Delay.of_ns 0.0 12.0 in
+  Session.stage s (Edit.Wire_delay { signal = "D"; delay = Some slow });
+  let report, _ = Session.reverify s in
+  let cold =
+    Verifier.verify ~jobs:1 (build_window_circuit ~d_wire:(Some slow) ())
+  in
+  Alcotest.(check bool) "the edit surfaces real violations" true
+    (cold.Verifier.r_violations <> []);
+  Alcotest.(check bool) "un-frozen checker equals the cold run" true
+    (verdicts_equal report cold);
+  (* reverting the delay restores the proof and the clean verdict *)
+  Session.stage s (Edit.Wire_delay { signal = "D"; delay = None });
+  let report', _ = Session.reverify s in
+  Alcotest.(check bool) "revert restores the proven-clean verdict" true
+    (verdicts_equal report'
+       (Session.report (Session.load (build_window_circuit ()))))
+
 let test_session_counters_carry () =
   let s = Session.load (build_circuit ()) in
   Session.stage s (Edit.Wire_delay { signal = "DATA"; delay = Some (Delay.of_ns 0.5 9.0) });
@@ -801,6 +853,8 @@ let suite =
     Alcotest.test_case "session case-group swap" `Quick test_session_cases_swap;
     Alcotest.test_case "session corners edit and revert" `Quick
       test_session_corners_edit;
+    Alcotest.test_case "session window pruning tracks edits" `Quick
+      test_session_window_prune_tracks_edits;
     Alcotest.test_case "session counters carry" `Quick test_session_counters_carry;
     Alcotest.test_case "store warm/adopt/cold" `Quick test_store_warm_adopt_cold;
     Alcotest.test_case "serve protocol" `Quick test_serve_protocol;

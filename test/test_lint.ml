@@ -158,14 +158,48 @@ let test_k7 () =
     "REG (DELAY=1.5/4.5) (D .S0-4, CK B .P5-6) -> Q;\n\
      2 AND (DELAY=1.0/2.0) (CK .P2-3 &H, Q) -> G;\n"
 
+(* ---- arrival-window (Window-backed) rules ----------------------------------- *)
+
+let test_w1 () =
+  (* a stable cone can never violate its assertion: vacuous *)
+  check_fires "W1" "1 CHG (DELAY=1.0/2.0) (EN .S0-8) -> X .S0-8;\n";
+  (* transitions land inside the asserted window: not proven (W5's case) *)
+  check_passes "W1" "1 CHG (DELAY=1.0/2.0) (D .S0-4) -> X .S0-8;\n"
+
+let test_w2 () =
+  (* both inputs asserted and the windows clear the check at every corner *)
+  check_fires "W2" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n";
+  (* proven only via the stable assumption on RAW: W4's business, not W2's *)
+  check_passes "W2" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D RAW, CK .P2-3);\n"
+
+let test_w3 () =
+  (* the asserted data window straddles the clock pulse: always violated *)
+  check_fires "W3" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S2-3, CK .P2-3);\n";
+  check_passes "W3" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_w4 () =
+  (* no assertion anywhere in the checker input's cone *)
+  check_fires "W4" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D RAW, CK .P2-3);\n";
+  (* combinational feedback widens the window to unbounded *)
+  check_fires "W4"
+    "2 OR (DELAY=1.0/2.0) (LOOP, D .S0-4) -> LOOP;\n\
+     SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (LOOP, CK .P2-3);\n";
+  check_passes "W4" "SETUP HOLD CHK (SETUP=2.5, HOLD=1.5) (D .S0-4, CK .P2-3);\n"
+
+let test_w5 () =
+  (* every possible transition of X falls inside its asserted-stable span *)
+  check_fires "W5" "1 CHG (DELAY=1.0/2.0) (D .S0-4) -> X .S0-8;\n";
+  check_passes "W5" "1 CHG (DELAY=1.0/2.0) (EN .S0-8) -> X .S0-8;\n"
+
 (* ---- catalogue ------------------------------------------------------------- *)
 
 let test_catalogue () =
-  Alcotest.(check int) "fourteen rules" 14 (List.length Rules.all);
+  Alcotest.(check int) "nineteen rules" 19 (List.length Rules.all);
   let ids = List.map (fun (r : Rules.rule) -> r.Rules.id) Rules.all in
   Alcotest.(check (list string)) "ids"
     [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6"; "C7";
-      "K1"; "K2"; "K3"; "K4"; "K5"; "K6"; "K7" ]
+      "K1"; "K2"; "K3"; "K4"; "K5"; "K6"; "K7";
+      "W1"; "W2"; "W3"; "W4"; "W5" ]
     ids;
   (match Rules.find "k4" with
   | Some r -> Alcotest.(check string) "find is case-insensitive" "K4" r.Rules.id
@@ -184,9 +218,11 @@ let test_underconstrained_example () =
   let r = Lint.audit (load (read_file "../examples/underconstrained.sdl")) in
   let ids = LR.rule_ids r in
   (* every structural rule fires; the CDC rules C6/C7/K7 need a second
-     clock domain and are exercised by examples/cdc.sdl instead *)
+     clock domain and are exercised by examples/cdc.sdl instead, and the
+     remaining window rules W1/W2/W5 by examples/vacuous.sdl *)
   Alcotest.(check (list string)) "structural rules fire"
-    [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6" ]
+    [ "C1"; "C2"; "C3"; "C4"; "C5"; "K1"; "K2"; "K3"; "K4"; "K5"; "K6";
+      "W3"; "W4" ]
     ids;
   Alcotest.(check bool) "has lint errors" false (LR.clean r)
 
@@ -214,6 +250,20 @@ let test_s1_subset_golden () =
   let actual = Format.asprintf "%a" LR.pp r in
   let golden = read_file "golden/s1_subset_lint.txt" in
   Alcotest.(check string) "lint listing snapshot" golden actual
+
+let test_vacuous_each_w_once () =
+  let r = Lint.audit (load (read_file "../examples/vacuous.sdl")) in
+  List.iter
+    (fun id ->
+      Alcotest.(check int) (id ^ " fires exactly once") 1
+        (List.length (LR.by_rule id r)))
+    [ "W1"; "W2"; "W3"; "W4"; "W5" ]
+
+let test_vacuous_golden () =
+  let r = Lint.audit (load (read_file "../examples/vacuous.sdl")) in
+  let actual = Format.asprintf "%a" LR.pp r in
+  let golden = read_file "golden/vacuous_lint.txt" in
+  Alcotest.(check string) "vacuous lint listing snapshot" golden actual
 
 (* ---- JSON round-trip -------------------------------------------------------- *)
 
@@ -321,6 +371,11 @@ let suite =
     Alcotest.test_case "C6 clock-domain crossings" `Quick test_c6;
     Alcotest.test_case "C7 domain convergence" `Quick test_c7;
     Alcotest.test_case "K7 same-domain clock gating" `Quick test_k7;
+    Alcotest.test_case "W1 vacuous stable assertions" `Quick test_w1;
+    Alcotest.test_case "W2 provably satisfied checkers" `Quick test_w2;
+    Alcotest.test_case "W3 guaranteed violations" `Quick test_w3;
+    Alcotest.test_case "W4 unbounded or unconstrained windows" `Quick test_w4;
+    Alcotest.test_case "W5 window/assertion contradictions" `Quick test_w5;
     Alcotest.test_case "rule catalogue" `Quick test_catalogue;
     Alcotest.test_case "underconstrained example fires all rules" `Quick
       test_underconstrained_example;
@@ -328,6 +383,9 @@ let suite =
     Alcotest.test_case "cdc lint listing snapshot" `Quick test_cdc_golden;
     Alcotest.test_case "s1_subset has no lint errors" `Quick test_s1_subset_clean;
     Alcotest.test_case "s1_subset lint listing snapshot" `Quick test_s1_subset_golden;
+    Alcotest.test_case "vacuous example fires each W rule once" `Quick
+      test_vacuous_each_w_once;
+    Alcotest.test_case "vacuous lint listing snapshot" `Quick test_vacuous_golden;
     Alcotest.test_case "JSON round-trip on real findings" `Quick test_json_roundtrip;
     Alcotest.test_case "JSON escaping" `Quick test_json_escaping;
     Alcotest.test_case "JSON rejects malformed lines" `Quick test_json_rejects;
